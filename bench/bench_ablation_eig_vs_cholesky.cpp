@@ -1,0 +1,125 @@
+// Ablation A1 — the coloring-matrix engine: cyclic Jacobi vs Householder+QL
+// eigendecomposition vs Cholesky.  Prints a factorization-accuracy table
+// (residual ||L L^H - K||_F / ||K||_F), then times all three across N.
+//
+// Context: the paper chooses eigendecomposition for robustness ("it is
+// important to note that estimating and comparing the computational efforts
+// ... are not our targets"); this ablation supplies the numbers anyway.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+namespace {
+
+CMatrix random_spd(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  CMatrix k = numeric::gram(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) += cdouble(double(n), 0.0);
+  }
+  return k;
+}
+
+CMatrix coloring_from_eigen(const numeric::HermitianEigen& eig) {
+  const std::size_t n = eig.values.size();
+  CMatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double root = std::sqrt(std::max(eig.values[j], 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      l(i, j) = eig.vectors(i, j) * root;
+    }
+  }
+  return l;
+}
+
+void accuracy_table() {
+  support::TablePrinter table(
+      "A1: coloring residual ||L L^H - K||_F / ||K||_F");
+  table.set_header({"N", "Jacobi", "Householder+QL", "Cholesky"});
+  for (const std::size_t n :
+       {std::size_t{4}, std::size_t{16}, std::size_t{64}, std::size_t{128}}) {
+    const CMatrix k = random_spd(n, 0xA1 + n);
+    const double norm_k = numeric::frobenius_norm(k);
+    const auto jacobi = coloring_from_eigen(
+        numeric::eigen_hermitian(k, numeric::EigenMethod::Jacobi));
+    const auto ql = coloring_from_eigen(
+        numeric::eigen_hermitian(k, numeric::EigenMethod::TridiagonalQL));
+    const auto chol = numeric::cholesky(k);
+    auto residual = [&](const CMatrix& l) {
+      return numeric::frobenius_norm(numeric::subtract(numeric::gram(l), k)) /
+             norm_k;
+    };
+    table.add_row({std::to_string(n), support::scientific(residual(jacobi)),
+                   support::scientific(residual(ql)),
+                   support::scientific(residual(chol))});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void EigenJacobi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CMatrix k = random_spd(n, 0xA1A);
+  for (auto _ : state) {
+    const auto eig = numeric::eigen_hermitian(k, numeric::EigenMethod::Jacobi);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(EigenJacobi)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void EigenHouseholderQL(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CMatrix k = random_spd(n, 0xA1B);
+  for (auto _ : state) {
+    const auto eig =
+        numeric::eigen_hermitian(k, numeric::EigenMethod::TridiagonalQL);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(EigenHouseholderQL)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void CholeskyFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CMatrix k = random_spd(n, 0xA1C);
+  for (auto _ : state) {
+    const auto l = numeric::cholesky(k);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(CholeskyFactor)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  accuracy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E6 — the Sec. 4.2 precision claim: clip-to-zero PSD forcing
+// (the paper) approximates a non-PSD covariance matrix strictly better in
+// Frobenius norm than the epsilon-replacement of Sorooshyari-Daut [6].
+//
+// Random non-PSD Hermitian matrices are drawn with controlled spectra; for
+// each, the Frobenius distance of both policies is computed.  The clip
+// policy must win every single trial (it is the Frobenius-nearest PSD
+// matrix), with the margin growing with epsilon.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "rfade/core/psd.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+namespace {
+
+CMatrix random_non_psd(std::size_t n, random::Rng& rng) {
+  // Prescribed spectrum with at least one negative eigenvalue.
+  numeric::RVector spectrum(n);
+  bool negative = false;
+  for (auto& lambda : spectrum) {
+    lambda = rng.gaussian();
+    negative |= lambda < 0.0;
+  }
+  if (!negative) {
+    spectrum[0] = -std::abs(spectrum[0]) - 0.05;
+  }
+  // Random unitary basis from a Hermitian eigenproblem.
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  const auto eig = numeric::eigen_hermitian(numeric::hermitian_part(
+      numeric::add(g, numeric::conjugate_transpose(g))));
+  numeric::HermitianEigen prescribed;
+  prescribed.values = spectrum;
+  prescribed.vectors = eig.vectors;
+  return numeric::reconstruct(prescribed);
+}
+
+}  // namespace
+
+int main() {
+  const int trials = 50;
+  random::Rng rng(0xE6);
+
+  support::TablePrinter table(
+      "E6: PSD forcing — Frobenius distance, clip-to-zero (paper) vs "
+      "epsilon-replacement [6]");
+  table.set_header({"N", "eps", "mean d_clip", "mean d_eps",
+                    "mean d_eps/d_clip", "clip wins"});
+
+  for (const std::size_t n :
+       {std::size_t{4}, std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+    for (const double epsilon : {1e-6, 1e-4, 1e-2}) {
+      double sum_clip = 0.0;
+      double sum_eps = 0.0;
+      double sum_ratio = 0.0;
+      int wins = 0;
+      for (int t = 0; t < trials; ++t) {
+        const CMatrix k = random_non_psd(n, rng);
+        const auto clip = core::force_positive_semidefinite(k);
+        core::PsdOptions options;
+        options.policy = core::PsdPolicy::EpsilonReplace;
+        options.epsilon = epsilon;
+        const auto eps = core::force_positive_semidefinite(k, options);
+        sum_clip += clip.frobenius_distance;
+        sum_eps += eps.frobenius_distance;
+        sum_ratio += eps.frobenius_distance / clip.frobenius_distance;
+        wins += clip.frobenius_distance < eps.frobenius_distance ? 1 : 0;
+      }
+      table.add_row({std::to_string(n), support::scientific(epsilon, 0),
+                     support::fixed(sum_clip / trials, 4),
+                     support::fixed(sum_eps / trials, 4),
+                     support::fixed(sum_ratio / trials, 6),
+                     std::to_string(wins) + "/" + std::to_string(trials)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\npaper claim (Sec. 4.2): clipping approximates G better than [6]'s\n"
+      "epsilon replacement 'from Frobenius point of view' — clip must win\n"
+      "every trial, with the ratio increasing in epsilon.\n");
+  return 0;
+}

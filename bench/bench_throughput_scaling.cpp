@@ -1,0 +1,109 @@
+// Experiment E10 — generation throughput and parallel scaling (the IPDPS
+// context of the venue): instant-mode draws/s vs N, real-time block
+// generation vs M, and strong scaling of the deterministic parallel
+// Monte-Carlo validation harness vs thread count (serial baseline vs the
+// chunked thread-pool fan-out).
+
+#include <benchmark/benchmark.h>
+
+#include "rfade/channel/spectral.hpp"
+#include "rfade/core/generator.hpp"
+#include "rfade/core/realtime.hpp"
+#include "rfade/core/validation.hpp"
+#include "rfade/random/rng.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+namespace {
+
+CMatrix tridiagonal_covariance(std::size_t n) {
+  CMatrix k = CMatrix::identity(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    k(i, i + 1) = cdouble(0.4, 0.2);
+    k(i + 1, i) = cdouble(0.4, -0.2);
+  }
+  return k;
+}
+
+void InstantModeSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::EnvelopeGenerator gen(tridiagonal_covariance(n));
+  random::Rng rng(0xE10);
+  numeric::CVector z(n);
+  for (auto _ : state) {
+    gen.sample_into(rng, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(InstantModeSample)->RangeMultiplier(2)->Range(2, 64);
+
+void GeneratorConstruction(benchmark::State& state) {
+  // Coloring cost (eigendecomposition) as N grows.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CMatrix k = tridiagonal_covariance(n);
+  for (auto _ : state) {
+    const core::EnvelopeGenerator gen(k);
+    benchmark::DoNotOptimize(&gen);
+  }
+}
+BENCHMARK(GeneratorConstruction)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+void RealTimeBlock(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  core::RealTimeOptions options;
+  options.idft_size = m;
+  options.normalized_doppler = 0.05;
+  options.input_variance_per_dim = 0.5;
+  const core::RealTimeGenerator gen(k, options);
+  random::Rng rng(0xE10B);
+  for (auto _ : state) {
+    const CMatrix block = gen.generate_block(rng);
+    benchmark::DoNotOptimize(block.data());
+  }
+  // Samples per second = M x N per block.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m) * 3);
+}
+BENCHMARK(RealTimeBlock)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void MonteCarloValidation(benchmark::State& state) {
+  // Strong scaling: serial (arg 0) vs thread-pool chunks (arg 1).
+  const bool parallel = state.range(0) != 0;
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const core::EnvelopeGenerator gen(k);
+  core::ValidationOptions options;
+  options.samples = 200000;
+  options.seed = 0xE10C;
+  options.parallel = parallel;
+  options.chunk_size = 8192;
+  options.ks_samples_per_branch = 1000;
+  for (auto _ : state) {
+    const auto report = core::validate_generator(gen, options);
+    benchmark::DoNotOptimize(report.covariance_rel_error);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.samples));
+  state.SetLabel(parallel ? "parallel(chunked pool)" : "serial");
+}
+BENCHMARK(MonteCarloValidation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Real-time Doppler fading (paper Sec. 5, Fig. 3): generates temporally
+// correlated envelopes whose autocorrelation follows J0(2 pi fm d), and
+// demonstrates why the Eq. (19) variance correction matters by running the
+// same configuration with the correction disabled (the ref-[6] flaw).
+//
+//   build/examples/realtime_doppler_fading [--fm 0.05] [--idft 4096]
+//       [--blocks 10] [--csv realtime_trace.csv]
+
+#include <cmath>
+#include <cstdio>
+
+#include "rfade/channel/spatial.hpp"
+#include "rfade/core/realtime.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/special/bessel.hpp"
+#include "rfade/stats/autocorrelation.hpp"
+#include "rfade/stats/fading_metrics.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/csv.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const double fm = args.get_double("fm", 0.05);
+  const std::size_t idft = args.get_size("idft", 4096);
+  const int blocks = static_cast<int>(args.get_size("blocks", 10));
+  const std::string csv_path = args.get("csv", "realtime_trace.csv");
+
+  const numeric::CMatrix k =
+      channel::spatial_covariance_matrix(channel::paper_spatial_scenario());
+
+  core::RealTimeOptions options;
+  options.idft_size = idft;
+  options.normalized_doppler = fm;
+  options.input_variance_per_dim = 0.5;
+  const core::RealTimeGenerator generator(k, options);
+
+  std::printf("branch Doppler filter: M = %zu, fm = %.3f, km = %zu\n", idft,
+              fm, generator.branch().filter().km);
+  std::printf("post-filter variance (Eq. 19): sigma_g^2 = %.3e "
+              "(input complex variance would be %.1f)\n",
+              generator.branch_output_variance(),
+              2.0 * options.input_variance_per_dim);
+
+  // Measured autocorrelation vs J0 target.
+  random::Rng rng(0xD0);
+  const std::size_t max_lag = 50;
+  numeric::RVector rho_avg(max_lag + 1, 0.0);
+  numeric::RVector first_block_env;
+  for (int b = 0; b < blocks; ++b) {
+    const numeric::CMatrix block = generator.generate_block(rng);
+    numeric::CVector series(block.rows());
+    for (std::size_t l = 0; l < block.rows(); ++l) {
+      series[l] = block(l, 0);
+      if (b == 0) {
+        first_block_env.push_back(std::abs(block(l, 0)));
+      }
+    }
+    const auto rho = stats::normalized_autocorrelation(series, max_lag);
+    for (std::size_t d = 0; d <= max_lag; ++d) {
+      rho_avg[d] += rho[d] / blocks;
+    }
+  }
+
+  support::TablePrinter table("branch autocorrelation vs J0(2 pi fm d)");
+  table.set_header({"lag", "measured", "J0 target"});
+  for (std::size_t d = 0; d <= max_lag; d += 5) {
+    table.add_row({std::to_string(d), support::fixed(rho_avg[d], 4),
+                   support::fixed(
+                       special::bessel_j0(2.0 * M_PI * fm * double(d)), 4)});
+  }
+  table.print();
+
+  support::CsvWriter csv(csv_path);
+  csv.write_row({"sample", "envelope1"});
+  for (std::size_t l = 0; l < first_block_env.size(); ++l) {
+    csv.write_numeric_row({double(l), first_block_env[l]});
+  }
+  std::printf("\nwrote one %zu-sample envelope trace to %s\n",
+              first_block_env.size(), csv_path.c_str());
+
+  // The flaw demo: same configuration, variance correction off.
+  core::RealTimeOptions flawed = options;
+  flawed.variance_handling = core::VarianceHandling::AssumeInputVariance;
+  const core::RealTimeGenerator wrong(k, flawed);
+  random::Rng rng2(0xD1);
+  const numeric::RMatrix good_env = generator.generate_envelope_block(rng);
+  const numeric::RMatrix bad_env = wrong.generate_envelope_block(rng2);
+  numeric::RVector good_col(good_env.rows());
+  numeric::RVector bad_col(bad_env.rows());
+  for (std::size_t l = 0; l < good_env.rows(); ++l) {
+    good_col[l] = good_env(l, 0);
+    bad_col[l] = bad_env(l, 0);
+  }
+  std::printf("\nenvelope RMS, desired sqrt(K_11) = 1.000:\n");
+  std::printf("  proposed (Eq. 19 correction) : %.4f\n", stats::rms(good_col));
+  std::printf("  variance-unaware (ref. [6])  : %.6f  <- off by the filter "
+              "gain\n",
+              stats::rms(bad_col));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Unequal-power envelopes — the generalisation the paper's abstract leads
+// with: "an arbitrary number of Rayleigh envelopes with any desired, equal
+// or unequal power".  The user specifies *envelope* variances sigma_r^2;
+// step 1 of the algorithm (Eq. 11) converts them to the Gaussian powers
+// sigma_g^2 = sigma_r^2 / (1 - pi/4), and the output is verified to carry
+// exactly the requested envelope statistics.
+//
+//   build/examples/unequal_power_envelopes [--samples 200000]
+
+#include <cmath>
+#include <cstdio>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/core/generator.hpp"
+#include "rfade/core/power.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const std::size_t samples = args.get_size("samples", 200000);
+
+  // Desired *envelope* variances: a strong, a medium, a weak branch
+  // (e.g. main path, first echo, deep echo).
+  const numeric::RVector envelope_powers = {1.0, 0.25, 0.04};
+
+  core::CovarianceBuilder builder(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    builder.set_envelope_power(j, envelope_powers[j]);  // Eq. (11) inside
+  }
+  // Moderate correlation scaled to the branch magnitudes.
+  const double g0 = core::gaussian_power_from_envelope_power(1.0);
+  const double g1 = core::gaussian_power_from_envelope_power(0.25);
+  const double g2 = core::gaussian_power_from_envelope_power(0.04);
+  builder.set_cross_entry(0, 1, {0.5 * std::sqrt(g0 * g1), 0.2});
+  builder.set_cross_entry(1, 2, {0.4 * std::sqrt(g1 * g2), -0.1});
+  builder.set_cross_entry(0, 2, {0.1 * std::sqrt(g0 * g2), 0.0});
+  const numeric::CMatrix k = builder.build();
+
+  const core::EnvelopeGenerator generator(k);
+  random::Rng rng(0x0E0);
+
+  std::vector<stats::RunningStats> env(3);
+  for (std::size_t t = 0; t < samples; ++t) {
+    const auto r = generator.sample_envelopes(rng);
+    for (std::size_t j = 0; j < 3; ++j) {
+      env[j].add(r[j]);
+    }
+  }
+
+  support::TablePrinter table(
+      "unequal-power envelopes: requested vs measured (Eqs. 11/14/15)");
+  table.set_header({"branch", "requested Var{r}", "measured Var{r}",
+                    "requested E{r}", "measured E{r}", "sigma_g^2 (Eq.11)"});
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double gaussian_power =
+        core::gaussian_power_from_envelope_power(envelope_powers[j]);
+    const double expected_mean =
+        core::envelope_mean_from_gaussian_power(gaussian_power);
+    table.add_row({std::to_string(j + 1),
+                   support::fixed(envelope_powers[j], 4),
+                   support::fixed(env[j].variance(), 4),
+                   support::fixed(expected_mean, 4),
+                   support::fixed(env[j].mean(), 4),
+                   support::fixed(gaussian_power, 4)});
+  }
+  table.print();
+
+  std::printf("\nno conventional method covers this case: [1][2][3][4][6]\n"
+              "require equal powers, and [5] forces the covariances real.\n");
+  return 0;
+}

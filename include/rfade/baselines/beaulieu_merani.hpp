@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file beaulieu_merani.hpp
+/// \brief Baselines [3]/[4]: Beaulieu 1999 (N=2) generalised by
+///        Beaulieu & Merani 2000 to N >= 2 via Cholesky coloring.
+///
+/// The generator colors i.i.d. CN(0,1) samples with the Cholesky factor of
+/// the desired covariance matrix.  Correct whenever K is positive definite
+/// and the powers are equal — and *only* then: the Cholesky factorization
+/// throws on semi-definite or indefinite K (experiment E9), which is the
+/// restriction the paper's eigen-coloring removes.
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Cholesky-coloring generator after Beaulieu & Merani.
+class BeaulieuMeraniGenerator {
+ public:
+  /// \throws ValueError on unequal powers;
+  ///         NotPositiveDefiniteError when K is not positive definite.
+  explicit BeaulieuMeraniGenerator(const numeric::CMatrix& k);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// One draw of N correlated complex Gaussians.
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// The lower-triangular Cholesky coloring factor.
+  [[nodiscard]] const numeric::CMatrix& coloring_matrix() const noexcept {
+    return coloring_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix coloring_;
+};
+
+}  // namespace rfade::baselines

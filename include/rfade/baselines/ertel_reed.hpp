@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file ertel_reed.hpp
+/// \brief Baseline [2]: Ertel & Reed 1998 — two equal-power correlated
+///        Rayleigh envelopes.
+///
+/// The closed form for exactly N = 2 branches with common power sigma^2 and
+/// complex correlation coefficient rho = mu_12 / sigma^2:
+///   z_1 = sigma w_1
+///   z_2 = sigma (conj(rho) w_1 + sqrt(1 - |rho|^2) w_2),  w_i iid CN(0,1).
+/// Anything beyond two branches or unequal powers is out of the method's
+/// scope (throws) — the restriction the paper's algorithm removes.
+
+#include <complex>
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Two-branch correlated complex Gaussian generator.
+class ErtelReedGenerator {
+ public:
+  /// \param power common sigma^2 > 0.
+  /// \param rho complex correlation coefficient, |rho| <= 1, defined by
+  ///        E[z_1 conj(z_2)] = sigma^2 rho.
+  ErtelReedGenerator(double power, std::complex<double> rho);
+
+  /// Construct from a 2x2 covariance matrix (must be equal-power).
+  explicit ErtelReedGenerator(const numeric::CMatrix& k);
+
+  /// One draw (z_1, z_2).
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  [[nodiscard]] double power() const noexcept { return power_; }
+  [[nodiscard]] std::complex<double> rho() const noexcept { return rho_; }
+
+ private:
+  double power_;
+  std::complex<double> rho_;
+  double orthogonal_gain_;  // sqrt(1 - |rho|^2)
+};
+
+}  // namespace rfade::baselines

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file natarajan.hpp
+/// \brief Baseline [5]: Natarajan, Nassar & Chandrasekhar 2000 — arbitrary
+///        powers via Cholesky, with covariances *forced real*.
+///
+/// The method supports unequal powers, but (a) it relies on Cholesky, so K
+/// must be positive definite, and (b) it forces the covariances of the
+/// complex Gaussians to be real (Eq. (8) of [5]).  When the physical K has
+/// complex off-diagonal entries — the typical case, cf. the paper's
+/// Eq. (22) — the achieved covariance is Re(K), a measurable bias that
+/// experiment E9 quantifies via achieved_covariance().
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Real-forced Cholesky generator after Natarajan et al.
+class NatarajanGenerator {
+ public:
+  /// \throws NotPositiveDefiniteError when Re(K) is not positive definite.
+  explicit NatarajanGenerator(const numeric::CMatrix& k);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// One draw of N complex Gaussians (covariance = Re(K), not K).
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// The covariance the method actually realises: Re(K).
+  [[nodiscard]] const numeric::CMatrix& achieved_covariance() const noexcept {
+    return achieved_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix achieved_;  // Re(K) widened back to complex
+  numeric::CMatrix coloring_;
+};
+
+}  // namespace rfade::baselines

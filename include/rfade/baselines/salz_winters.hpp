@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file salz_winters.hpp
+/// \brief Baseline [1]: Salz & Winters 1994 real-composite coloring.
+///
+/// The method generates the 2N-vector C = (x_1..x_N, y_1..y_N) of real
+/// Gaussians by coloring a 2N x 2N *real* covariance matrix with its
+/// eigendecomposition B D^{1/2}.  Its documented shortcomings, which the
+/// paper's Sec. 1 enumerates and experiment E9 demonstrates:
+///   * equal-power envelopes only (enforced here; unequal powers throw),
+///   * the correlation matrix must be positive semi-definite — otherwise
+///     the coloring matrix turns complex and the produced statistics are
+///     wrong; this implementation throws NotPositiveDefiniteError instead
+///     of silently producing a wrong result.
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Correlated-Gaussian generator after Salz & Winters.
+class SalzWintersGenerator {
+ public:
+  /// \param k desired covariance of the complex Gaussians (Eqs. 12-13);
+  ///          must have an equal-power diagonal.
+  /// \throws ValueError on unequal powers; NotPositiveDefiniteError when
+  ///         the real composite covariance is not PSD.
+  explicit SalzWintersGenerator(const numeric::CMatrix& k);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// One draw of N correlated complex Gaussians.
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// The 2N x 2N real composite covariance this method colors.
+  [[nodiscard]] const numeric::RMatrix& composite_covariance() const noexcept {
+    return composite_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::RMatrix composite_;  // [[A, B], [B^T, A]]
+  numeric::RMatrix coloring_;   // B D^{1/2} of the composite matrix
+};
+
+/// Build the 2N x 2N real composite covariance [[A,B],[B^T,A]] from K,
+/// with A = Re(K)/2 and B = -Im(K)/2.  Exposed for tests.
+[[nodiscard]] numeric::RMatrix composite_real_covariance(
+    const numeric::CMatrix& k);
+
+}  // namespace rfade::baselines

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file sorooshyari_daut.hpp
+/// \brief Baseline [6]: Sorooshyari & Daut 2003 — epsilon PSD forcing +
+///        Cholesky, and the variance-unaware real-time combination.
+///
+/// Two components:
+///   * SorooshyariDautGenerator — instant mode.  Non-positive eigenvalues
+///     are replaced by a small epsilon (so Cholesky remains performable),
+///     then CN(0,1) samples are colored with the Cholesky factor.  Equal
+///     powers only.  The epsilon forcing is strictly farther from K in
+///     Frobenius norm than the paper's clip-to-zero (experiment E6).
+///   * SorooshyariDautRealTime — the Sec. VI combination of [6] with the
+///     Young-Beaulieu IDFT branches, reproduced faithfully *including its
+///     flaw*: step 6 of [6] assumes the branch outputs keep the unit input
+///     variance, ignoring the Doppler filter's gain (Eq. 19).  The achieved
+///     envelope powers are off by sigma_g^2 / (2 sigma_orig^2) — orders of
+///     magnitude (experiment E7).
+
+#include "rfade/core/psd.hpp"
+#include "rfade/doppler/idft_generator.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Instant-mode generator after Sorooshyari & Daut.
+class SorooshyariDautGenerator {
+ public:
+  /// \param epsilon the eigenvalue replacement value of [6].
+  /// \throws ValueError on unequal powers.
+  explicit SorooshyariDautGenerator(const numeric::CMatrix& k,
+                                    double epsilon = 1e-4);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// One draw of N correlated complex Gaussians.
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// The epsilon-forced covariance actually colored.
+  [[nodiscard]] const numeric::CMatrix& forced_covariance() const noexcept {
+    return forced_;
+  }
+
+  /// Frobenius distance ||K_forced - K||_F of the epsilon forcing.
+  [[nodiscard]] double forcing_distance() const noexcept {
+    return forcing_distance_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix forced_;
+  numeric::CMatrix coloring_;
+  double forcing_distance_ = 0.0;
+};
+
+/// Real-time combination of [6] with IDFT Doppler branches — reproduces
+/// the variance-unaware normalisation (the paper's headline critique).
+class SorooshyariDautRealTime {
+ public:
+  /// \param m IDFT size, \param fm normalised Doppler, \param
+  /// input_variance_per_dim sigma_orig^2 (the method implicitly assumes
+  /// 2*sigma_orig^2 = 1-like input variance survives the filter).
+  SorooshyariDautRealTime(const numeric::CMatrix& k, std::size_t m, double fm,
+                          double input_variance_per_dim = 0.5,
+                          double epsilon = 1e-4);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return branch_.block_size();
+  }
+
+  /// One block: M x N complex Gaussians (mis-scaled, by construction).
+  [[nodiscard]] numeric::CMatrix generate_block(random::Rng& rng) const;
+
+  /// The true branch output variance (Eq. 19) this method *should* use.
+  [[nodiscard]] double true_branch_variance() const noexcept {
+    return branch_.output_variance();
+  }
+
+  /// The variance the method actually assumes (2 sigma_orig^2).
+  [[nodiscard]] double assumed_variance() const noexcept {
+    return assumed_variance_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix coloring_;
+  doppler::IdftRayleighBranch branch_;
+  double assumed_variance_;
+};
+
+}  // namespace rfade::baselines

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file sum_of_sinusoids.hpp
+/// \brief Clarke/Jakes sum-of-sinusoids reference fading model.
+///
+/// The classical alternative to the IDFT generator (paper refs. [8], [12]):
+///   z[l] = sqrt(2/Np) sum_{n=1}^{Np} exp(i (2 pi fm l cos(alpha_n) + phi_n))
+/// with arrival angles alpha_n and phases phi_n i.i.d. uniform.  As
+/// Np -> inf the process converges to a complex Gaussian with Jakes
+/// autocorrelation J0(2 pi fm d).  rfade uses it as an *independent*
+/// cross-check of the Doppler machinery: two different constructions must
+/// produce the same second-order statistics.
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::baselines {
+
+/// Single-branch sum-of-sinusoids Rayleigh fading generator.
+class SumOfSinusoidsGenerator {
+ public:
+  /// \param num_paths Np, number of sinusoids; >= 8 recommended.
+  /// \param fm normalised maximum Doppler in (0, 0.5].
+  SumOfSinusoidsGenerator(std::size_t num_paths, double fm);
+
+  /// Generate \p length complex samples with a fresh random path set.
+  [[nodiscard]] numeric::CVector generate_block(std::size_t length,
+                                                random::Rng& rng) const;
+
+  [[nodiscard]] std::size_t num_paths() const noexcept { return num_paths_; }
+  [[nodiscard]] double normalized_doppler() const noexcept { return fm_; }
+
+ private:
+  std::size_t num_paths_;
+  double fm_;
+};
+
+}  // namespace rfade::baselines

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file mobility.hpp
+/// \brief Physical mobility/channel parameter conversions (paper Sec. 2).
+///
+/// The paper's Doppler quantities are derived from mobile kinematics:
+///   Fm = v / lambda = v f_c / c   (max Doppler shift)
+///   fm = Fm / Fs                  (normalised Doppler)
+/// plus the standard coherence summaries used to sanity-check scenarios:
+///   T_c ~ 9 / (16 pi Fm)          (coherence time, 50% correlation)
+///   B_c ~ 1 / (5 sigma_tau)       (coherence bandwidth, 50% correlation).
+/// The Sec. 6 example (900 MHz, 60 km/h) maps to Fm = 50 Hz through these
+/// helpers, which the tests verify.
+
+namespace rfade::channel {
+
+/// Speed of light [m/s].
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/// Carrier wavelength lambda = c / f_c [m].  \pre carrier_hz > 0.
+[[nodiscard]] double wavelength_m(double carrier_hz);
+
+/// Maximum Doppler shift Fm = v f_c / c [Hz].
+/// \pre carrier_hz > 0, speed_mps >= 0.
+[[nodiscard]] double max_doppler_hz(double carrier_hz, double speed_mps);
+
+/// Convenience overload taking the speed in km/h.
+[[nodiscard]] double max_doppler_hz_kmh(double carrier_hz, double speed_kmh);
+
+/// Normalised Doppler fm = Fm / Fs.  \pre sample_rate_hz > 0.
+[[nodiscard]] double normalized_doppler(double max_doppler, double sample_rate_hz);
+
+/// 50%-correlation coherence time ~ 9 / (16 pi Fm) [s].  \pre Fm > 0.
+[[nodiscard]] double coherence_time_s(double max_doppler);
+
+/// 50%-correlation coherence bandwidth ~ 1 / (5 sigma_tau) [Hz].
+/// \pre rms_delay_spread_s > 0.
+[[nodiscard]] double coherence_bandwidth_hz(double rms_delay_spread_s);
+
+}  // namespace rfade::channel

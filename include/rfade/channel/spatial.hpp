@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file spatial.hpp
+/// \brief Fading correlation as a function of antenna spacing in arrays
+///        (paper Sec. 3, after Salz & Winters).
+///
+/// For a uniform linear array of Tx antennas with spacing D, wavelength
+/// lambda, z = 2 pi D / lambda, signals arriving within +-Delta of mean
+/// angle Phi, the normalised covariances between antennas k and j
+/// (d = k - j) are the Bessel series of Eqs. (5)-(6):
+///
+///   Rxx~ = J0(z d) + 2 sum_{m>=1} J_{2m}(z d) cos(2 m Phi) sinc(2 m Delta)
+///   Rxy~ = 2 sum_{m>=0} J_{2m+1}(z d) sin((2m+1) Phi) sinc((2m+1) Delta)
+///
+/// with sinc(a) = sin(a)/a, and the dimensioned covariances are
+/// R = sigma^2 R~ / 2 (Eq. 7).  The covariance-matrix entry (Eq. 13)
+/// becomes mu_kj = sigma^2 (Rxx~ - i Rxy~).
+///
+/// This module reproduces the paper's Eq. (23) matrix from the Sec. 6
+/// parameters (see paper_spatial_scenario()).
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::channel {
+
+/// Uniform-linear-array scenario (MIMO transmit correlation).
+struct SpatialScenario {
+  /// Number of antennas N.
+  std::size_t antenna_count = 0;
+  /// Spacing over wavelength, D / lambda.
+  double spacing_wavelengths = 0.5;
+  /// Angular spread Delta [rad]; arrivals span Phi +- Delta.
+  double angle_spread_rad = 0.17453292519943295;  // 10 degrees
+  /// Mean arrival angle Phi [rad], |Phi| <= pi.
+  double mean_angle_rad = 0.0;
+  /// Common power sigma^2 of the complex Gaussians.
+  double gaussian_power = 1.0;
+  /// Series truncation: stop after this many terms at the latest.
+  std::size_t max_series_terms = 512;
+  /// Series truncation: stop once terms fall below this threshold.
+  double series_tolerance = 1e-14;
+};
+
+/// Normalised Rxx~ (Eq. 5) for antenna separation \p separation = k - j.
+[[nodiscard]] double spatial_rxx_normalized(const SpatialScenario& s,
+                                            int separation);
+
+/// Normalised Rxy~ (Eq. 6) for antenna separation \p separation = k - j.
+[[nodiscard]] double spatial_rxy_normalized(const SpatialScenario& s,
+                                            int separation);
+
+/// The four real covariances (via Eq. 7) for the antenna pair (k, j).
+[[nodiscard]] core::CrossCovariance spatial_cross_covariance(
+    const SpatialScenario& s, std::size_t k, std::size_t j);
+
+/// Assemble the full N x N covariance matrix K of Eqs. (12)-(13).
+[[nodiscard]] numeric::CMatrix spatial_covariance_matrix(
+    const SpatialScenario& s);
+
+/// The exact Sec. 6 spatial scenario: N=3, D/lambda=1, Delta=10 degrees,
+/// Phi=0, sigma^2=1.  Its covariance matrix is the paper's Eq. (23).
+[[nodiscard]] SpatialScenario paper_spatial_scenario();
+
+/// The paper's Eq. (23) matrix as printed (4 decimal places).
+[[nodiscard]] numeric::CMatrix paper_eq23_matrix();
+
+}  // namespace rfade::channel

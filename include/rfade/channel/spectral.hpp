@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file spectral.hpp
+/// \brief Fading correlation as functions of time delay and frequency
+///        separation (paper Sec. 2, Jakes' model).
+///
+/// For two zero-mean complex Gaussian processes z_k(t), z_j(t + tau_kj) at
+/// carrier frequencies f_k, f_j with common power sigma^2 (Eqs. 3-4):
+///
+///   Rxx = Ryy = sigma^2 J0(2 pi Fm tau) / (2 [1 + (dw sigma_tau)^2])
+///   Rxy = -Ryx = -dw sigma_tau Rxx,        dw = 2 pi (f_k - f_j)
+///
+/// and the covariance-matrix entry (Eq. 13) is
+///   mu_kj = (Rxx + Ryy) - i (Rxy - Ryx) = 2 Rxx (1 + i dw sigma_tau).
+///
+/// This module reproduces the paper's Eq. (22) matrix bit-for-bit from the
+/// Sec. 6 parameters (see paper_spectral_scenario()).
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::channel {
+
+/// OFDM-like scenario: N carriers with pairwise arrival delays.
+struct SpectralScenario {
+  /// Carrier frequency of each process [Hz].
+  numeric::RVector carrier_hz;
+  /// Symmetric matrix of arrival time delays tau_kj [s]; diagonal ignored.
+  numeric::RMatrix delay_s;
+  /// Maximum Doppler shift Fm = v f_c / c [Hz].
+  double max_doppler_hz = 0.0;
+  /// RMS delay spread sigma_tau of the channel [s].
+  double rms_delay_spread_s = 0.0;
+  /// Common power sigma^2 of the complex Gaussian processes.
+  double gaussian_power = 1.0;
+
+  /// Number of processes N.
+  [[nodiscard]] std::size_t size() const { return carrier_hz.size(); }
+};
+
+/// The four real covariances (Eqs. 3-4) for the pair (k, j), k != j.
+[[nodiscard]] core::CrossCovariance spectral_cross_covariance(
+    const SpectralScenario& scenario, std::size_t k, std::size_t j);
+
+/// Assemble the full N x N covariance matrix K of Eqs. (12)-(13).
+[[nodiscard]] numeric::CMatrix spectral_covariance_matrix(
+    const SpectralScenario& scenario);
+
+/// The exact Sec. 6 spectral scenario: N=3, sigma^2=1, Fs=1 kHz, Fm=50 Hz,
+/// adjacent carrier separation 200 kHz (f1 > f2 > f3), sigma_tau=1 us,
+/// tau12=1 ms, tau23=3 ms, tau13=4 ms.  Its covariance matrix is the
+/// paper's Eq. (22).
+[[nodiscard]] SpectralScenario paper_spectral_scenario();
+
+/// The paper's Eq. (22) matrix as printed (4 decimal places), for
+/// regression comparison.
+[[nodiscard]] numeric::CMatrix paper_eq22_matrix();
+
+}  // namespace rfade::channel

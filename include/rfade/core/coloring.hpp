@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file coloring.hpp
+/// \brief Coloring-matrix computation L with L L^H = K_bar (paper Sec. 4.3).
+///
+/// The proposed route is eigendecomposition: K_bar = V Lambda_hat V^H with
+/// Lambda_hat >= 0, then L = V sqrt(Lambda_hat) (steps 4-5 of the
+/// algorithm).  Unlike Cholesky it requires only positive
+/// *semi*-definiteness, which the PSD-forcing step guarantees; rank
+/// deficiency is handled for free (zero columns).  Cholesky remains
+/// available for the baselines and the A1 ablation.
+
+#include "rfade/core/psd.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::core {
+
+/// How the coloring matrix is obtained.
+enum class ColoringMethod {
+  EigenDecomposition,  ///< L = V sqrt(Lambda_hat) — the paper's method
+  Cholesky             ///< L from K = L L^H; requires K positive definite
+};
+
+/// Options for compute_coloring.
+struct ColoringOptions {
+  ColoringMethod method = ColoringMethod::EigenDecomposition;
+  PsdOptions psd;  ///< PSD forcing applied before eigen-coloring
+};
+
+/// Outcome of the coloring step.
+struct ColoringResult {
+  /// L with L L^H = effective covariance.
+  numeric::CMatrix matrix;
+  /// K_bar = L L^H, the covariance the generator will actually realise
+  /// (equals the desired K whenever K was PSD).
+  numeric::CMatrix effective_covariance;
+  /// PSD-forcing diagnostics (only meaningful for EigenDecomposition).
+  PsdResult psd;
+  ColoringMethod method = ColoringMethod::EigenDecomposition;
+};
+
+/// Compute the coloring matrix of \p k.
+/// \throws NotPositiveDefiniteError for ColoringMethod::Cholesky on a
+///         non-PD matrix — the conventional methods' failure mode.
+[[nodiscard]] ColoringResult compute_coloring(const numeric::CMatrix& k,
+                                              const ColoringOptions& options = {});
+
+}  // namespace rfade::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file covariance_spec.hpp
+/// \brief Assembly of the desired covariance matrix K (paper Eqs. 12-13).
+///
+/// The algorithm's input is the covariance matrix of the *complex Gaussian*
+/// variables (not of the envelopes):
+///
+///   mu_kj = sigma_g_j^2                                   (k == j)
+///   mu_kj = (Rxx + Ryy) - i (Rxy - Ryx)                   (k != j)
+///
+/// CovarianceBuilder accumulates per-branch powers and pairwise covariances,
+/// enforces Hermitian symmetry, and validates the result.
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::core {
+
+/// The four real covariances between the real/imaginary parts of a pair of
+/// complex Gaussians (paper Eqs. 1-2):
+///   rxx = E(x_k x_j),  ryy = E(y_k y_j),
+///   rxy = E(x_k y_j),  ryx = E(y_k x_j).
+struct CrossCovariance {
+  double rxx = 0.0;
+  double ryy = 0.0;
+  double rxy = 0.0;
+  double ryx = 0.0;
+};
+
+/// Covariance entry mu_kj from the four real covariances (Eq. 13).
+[[nodiscard]] numeric::cdouble covariance_entry(const CrossCovariance& c);
+
+/// Incremental builder for the covariance matrix K.
+class CovarianceBuilder {
+ public:
+  /// \param n number of envelopes N; \pre n >= 1.
+  explicit CovarianceBuilder(std::size_t n);
+
+  /// Set sigma_g_j^2, the power of complex Gaussian j.  \pre power > 0.
+  CovarianceBuilder& set_gaussian_power(std::size_t j, double power);
+
+  /// Set the desired *envelope* power sigma_r_j^2; converted through the
+  /// paper's Eq. (11): sigma_g^2 = sigma_r^2 / (1 - pi/4).
+  CovarianceBuilder& set_envelope_power(std::size_t j, double power);
+
+  /// Set the pair (k, j), k != j, from the four real covariances; the
+  /// mirror entry mu_jk is set to the conjugate automatically.
+  CovarianceBuilder& set_cross_covariance(std::size_t k, std::size_t j,
+                                          const CrossCovariance& c);
+
+  /// Set mu_kj directly (mirror entry handled as above).  \pre k != j.
+  CovarianceBuilder& set_cross_entry(std::size_t k, std::size_t j,
+                                     numeric::cdouble mu);
+
+  /// Finish: returns K after validating that every diagonal power was set.
+  [[nodiscard]] numeric::CMatrix build() const;
+
+ private:
+  std::size_t n_;
+  numeric::CMatrix k_;
+  std::vector<bool> power_set_;
+};
+
+/// Validate that \p k is a plausible covariance matrix: square, Hermitian
+/// within \p tol, real positive diagonal.  Throws ContractViolation.
+void validate_covariance_matrix(const numeric::CMatrix& k, double tol = 1e-9);
+
+}  // namespace rfade::core

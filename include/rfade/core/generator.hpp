@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file generator.hpp
+/// \brief The proposed correlated-Rayleigh-envelope generator, single
+///        time-instant mode (paper Sec. 4.4, steps 1-7).
+///
+/// Given the desired covariance matrix K of the complex Gaussians (built
+/// from powers + cross-covariances, see covariance_spec.hpp, or from the
+/// channel models), the generator:
+///   1. forces K positive semi-definite (Sec. 4.2),
+///   2. computes the coloring matrix L = V sqrt(Lambda_hat) (Sec. 4.3),
+///   3. per draw, samples W of N i.i.d. CN(0, sigma_w^2) variables with
+///      *arbitrary* common variance sigma_w^2 (step 6) and returns
+///      Z = L W / sigma_w (step 7).
+/// The moduli |z_j| are the correlated Rayleigh envelopes; E[Z Z^H] = K_bar
+/// (Sec. 4.5).  Repeated draws are temporally white — use
+/// RealTimeGenerator (realtime.hpp) for Doppler-correlated time series.
+
+#include <span>
+
+#include "rfade/core/coloring.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::core {
+
+/// Options for EnvelopeGenerator.
+struct GeneratorOptions {
+  ColoringOptions coloring;
+  /// Variance sigma_w^2 of the i.i.d. complex Gaussians in step 6.  The
+  /// algorithm divides it back out, so any positive value yields identical
+  /// statistics; it is kept configurable to mirror the paper exactly (and
+  /// to let the real-time generator pass the Eq. (19) value through).
+  double sample_variance = 1.0;
+};
+
+/// Generator of N correlated complex Gaussians / Rayleigh envelopes at
+/// independent time instants.
+class EnvelopeGenerator {
+ public:
+  /// \param desired_covariance the matrix K of Eqs. (12)-(13).
+  /// \throws ContractViolation when K is not a valid covariance matrix;
+  ///         NotPositiveDefiniteError when Cholesky coloring is requested
+  ///         on a non-PD K.
+  explicit EnvelopeGenerator(numeric::CMatrix desired_covariance,
+                             GeneratorOptions options = {});
+
+  /// Number of envelopes N.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// The K the caller asked for.
+  [[nodiscard]] const numeric::CMatrix& desired_covariance() const noexcept {
+    return desired_;
+  }
+
+  /// K_bar = L L^H, what the generator actually realises (== desired K
+  /// when that was PSD).
+  [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
+    return coloring_.effective_covariance;
+  }
+
+  /// The coloring matrix L.
+  [[nodiscard]] const numeric::CMatrix& coloring_matrix() const noexcept {
+    return coloring_.matrix;
+  }
+
+  /// Full coloring diagnostics (PSD forcing report etc.).
+  [[nodiscard]] const ColoringResult& coloring() const noexcept {
+    return coloring_;
+  }
+
+  /// One draw: Z = L W / sigma_w, N correlated complex Gaussians.
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// Write one draw into \p out (size N); allocation-free hot path.
+  void sample_into(random::Rng& rng, std::span<numeric::cdouble> out) const;
+
+  /// One draw of the envelopes r_j = |z_j|.
+  [[nodiscard]] numeric::RVector sample_envelopes(random::Rng& rng) const;
+
+  /// \p count draws stacked row-wise into a count x N matrix.
+  [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
+                                              random::Rng& rng) const;
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix desired_;
+  ColoringResult coloring_;
+  double sample_variance_;
+  double inv_sigma_w_;
+};
+
+}  // namespace rfade::core

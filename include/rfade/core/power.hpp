@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file power.hpp
+/// \brief Envelope-power <-> Gaussian-power conversions (paper Eqs. 11,
+///        14, 15).
+///
+/// For an envelope r = |z| of z ~ CN(0, sigma_g^2):
+///   E{r}      = sigma_g sqrt(pi)/2  = 0.8862 sigma_g        (Eq. 14)
+///   Var{r}    = sigma_g^2 (1 - pi/4) = 0.2146 sigma_g^2     (Eq. 15)
+/// so a *desired envelope variance* sigma_r^2 requires
+///   sigma_g^2 = sigma_r^2 / (1 - pi/4)                      (Eq. 11).
+
+namespace rfade::core {
+
+/// 1 - pi/4, the Rayleigh variance factor of Eq. (15).
+inline constexpr double kRayleighVarianceFactor =
+    1.0 - 3.141592653589793238462643383279502884 / 4.0;
+
+/// Eq. (11): sigma_g^2 from a desired envelope variance sigma_r^2.
+[[nodiscard]] double gaussian_power_from_envelope_power(
+    double envelope_variance);
+
+/// Eq. (15): envelope variance sigma_r^2 from sigma_g^2.
+[[nodiscard]] double envelope_power_from_gaussian_power(
+    double gaussian_power);
+
+/// Eq. (14): envelope mean 0.8862 sigma_g from sigma_g^2.
+[[nodiscard]] double envelope_mean_from_gaussian_power(double gaussian_power);
+
+/// RMS of the envelope: sqrt(E{r^2}) = sigma_g.
+[[nodiscard]] double envelope_rms_from_gaussian_power(double gaussian_power);
+
+}  // namespace rfade::core

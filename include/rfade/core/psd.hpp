@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file psd.hpp
+/// \brief Forced positive semi-definiteness of the covariance matrix
+///        (paper Sec. 4.2).
+///
+/// Physically-specified covariance matrices need not be PSD (measurement
+/// noise, inconsistent pairwise specifications).  The proposed algorithm
+/// eigendecomposes K = V G V^H and clips negative eigenvalues to zero,
+/// yielding the *nearest* PSD matrix in Frobenius norm.  The
+/// Sorooshyari-Daut alternative [6] replaces non-positive eigenvalues by a
+/// small epsilon > 0 (to keep Cholesky usable), which is strictly farther
+/// from K — quantified in experiment E6.
+
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::core {
+
+/// How non-PSD eigenvalues are repaired.
+enum class PsdPolicy {
+  ClipToZero,     ///< lambda_hat = max(lambda, 0) — the paper's choice
+  EpsilonReplace  ///< lambda_hat = lambda > 0 ? lambda : eps — ref. [6]
+};
+
+/// Outcome of the PSD-forcing step.
+struct PsdResult {
+  /// The forced matrix K_bar = V Lambda_hat V^H (equals K when K is PSD).
+  numeric::CMatrix matrix;
+  /// Original eigenvalues of K, ascending.
+  numeric::RVector eigenvalues;
+  /// Adjusted eigenvalues lambda_hat, same order.
+  numeric::RVector adjusted_eigenvalues;
+  /// Eigenvectors of K (shared by K_bar).
+  numeric::CMatrix eigenvectors;
+  /// True when no eigenvalue needed adjustment.
+  bool was_psd = true;
+  /// ||K_bar - K||_F, the Frobenius approximation error.
+  double frobenius_distance = 0.0;
+};
+
+/// Options for force_positive_semidefinite.
+struct PsdOptions {
+  PsdPolicy policy = PsdPolicy::ClipToZero;
+  /// epsilon for PsdPolicy::EpsilonReplace.
+  double epsilon = 1e-4;
+  /// Eigenvalues above -tolerance * max|lambda| count as non-negative.
+  double tolerance = 1e-12;
+  numeric::EigenMethod eigen_method = numeric::EigenMethod::TridiagonalQL;
+};
+
+/// Force \p k to be positive semi-definite (identity on PSD input).
+/// \pre k is a valid covariance matrix (square, Hermitian).
+[[nodiscard]] PsdResult force_positive_semidefinite(const numeric::CMatrix& k,
+                                                    const PsdOptions& options = {});
+
+/// True when every eigenvalue of \p k is >= -tolerance * max(|lambda|).
+[[nodiscard]] bool is_positive_semidefinite(const numeric::CMatrix& k,
+                                            double tolerance = 1e-12);
+
+}  // namespace rfade::core

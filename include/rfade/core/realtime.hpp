@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file realtime.hpp
+/// \brief Real-time correlated Rayleigh generation with Doppler spectrum
+///        (paper Sec. 5, Fig. 3).
+///
+/// N Young-Beaulieu IDFT branches (Fig. 2) produce temporally-correlated
+/// complex Gaussians u_j[l]; at each time instant l the vector
+/// W_l = (u_1[l], ..., u_N[l])^T is colored exactly as in the instant-mode
+/// algorithm: Z_l = L W_l / sigma_g.
+///
+/// The decisive detail — the paper's fix over Sorooshyari-Daut [6] — is
+/// *which* sigma_g^2 the division uses:
+///   * VarianceHandling::AnalyticCorrection (proposed): the Eq. (19)
+///     post-filter variance sigma_g^2 = (2 sigma_orig^2 / M^2) sum F[k]^2,
+///     so E[Z Z^H] = K_bar holds exactly;
+///   * VarianceHandling::AssumeInputVariance (the [6] flaw, kept for
+///     experiment E7): the *input* complex variance 2 sigma_orig^2, which
+///     ignores the gain of the Doppler filter and mis-scales every envelope
+///     by the same large factor.
+
+#include "rfade/core/coloring.hpp"
+#include "rfade/doppler/idft_generator.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::core {
+
+/// Which variance the coloring normalisation divides by (see file comment).
+enum class VarianceHandling {
+  AnalyticCorrection,   ///< Eq. (19) — the proposed algorithm
+  AssumeInputVariance   ///< the Sorooshyari-Daut assumption (flawed)
+};
+
+/// Options for RealTimeGenerator.
+struct RealTimeOptions {
+  /// IDFT size M — the block length (number of time samples per block).
+  std::size_t idft_size = 4096;
+  /// Normalised maximum Doppler fm = Fm / Fs in (0, 0.5).
+  double normalized_doppler = 0.05;
+  /// sigma_orig^2 per dimension at the Doppler-filter inputs.
+  double input_variance_per_dim = 0.5;
+  VarianceHandling variance_handling = VarianceHandling::AnalyticCorrection;
+  ColoringOptions coloring;
+};
+
+/// Generator of N jointly-correlated, temporally-Doppler-faded envelopes.
+class RealTimeGenerator {
+ public:
+  /// \param desired_covariance K of Eqs. (12)-(13).
+  RealTimeGenerator(numeric::CMatrix desired_covariance,
+                    RealTimeOptions options = {});
+
+  /// Number of envelopes N.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// Block length M.
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return branch_.block_size();
+  }
+
+  /// One block: M x N complex Gaussians; row l is the vector Z at time l.
+  [[nodiscard]] numeric::CMatrix generate_block(random::Rng& rng) const;
+
+  /// One block of envelopes |Z|: M x N.
+  [[nodiscard]] numeric::RMatrix generate_envelope_block(
+      random::Rng& rng) const;
+
+  /// Analytic per-branch output variance sigma_g^2 (Eq. 19).
+  [[nodiscard]] double branch_output_variance() const noexcept {
+    return branch_.output_variance();
+  }
+
+  /// The variance the normalisation actually divides by (differs from
+  /// branch_output_variance() only in AssumeInputVariance mode).
+  [[nodiscard]] double assumed_variance() const noexcept {
+    return assumed_variance_;
+  }
+
+  /// K_bar = L L^H.
+  [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
+    return coloring_.effective_covariance;
+  }
+
+  /// Coloring diagnostics.
+  [[nodiscard]] const ColoringResult& coloring() const noexcept {
+    return coloring_;
+  }
+
+  /// The shared branch design (all N branches use the same filter).
+  [[nodiscard]] const doppler::IdftRayleighBranch& branch() const noexcept {
+    return branch_;
+  }
+
+ private:
+  std::size_t dim_;
+  numeric::CMatrix desired_;
+  ColoringResult coloring_;
+  doppler::IdftRayleighBranch branch_;
+  double assumed_variance_;
+};
+
+}  // namespace rfade::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file whitening.hpp
+/// \brief The inverse of the coloring step: whiten correlated complex
+///        Gaussian observations back to (approximately) i.i.d. samples.
+///
+/// Coloring maps white W to correlated Z = L W; whitening maps Z back with
+/// W_hat = Lambda^{-1/2} V^H Z using the same eigendecomposition, with
+/// zero (clipped) eigenvalues handled by pseudo-inversion — the directions
+/// the coloring matrix annihilates carry no information and are returned
+/// as zeros.  Useful for receiver-side decorrelation and as a strong
+/// self-test of the coloring machinery (whiten(color(w)) must recover w on
+/// the positive-rank subspace).
+
+#include "rfade/core/psd.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::core {
+
+/// Whitening transform derived from a covariance matrix.
+class WhiteningTransform {
+ public:
+  /// \param covariance the (desired) covariance K; non-PSD input is clipped
+  ///        exactly as in the coloring step, so coloring and whitening are
+  ///        mutually consistent.
+  /// \param options PSD forcing options shared with compute_coloring.
+  explicit WhiteningTransform(const numeric::CMatrix& covariance,
+                              const PsdOptions& options = {});
+
+  /// Dimension N.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// Number of strictly positive eigenvalues (whitenable directions).
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Apply the transform: returns Lambda^{+1/2-pseudo-inverse} V^H z.
+  [[nodiscard]] numeric::CVector whiten(const numeric::CVector& z) const;
+
+  /// The whitening matrix itself.
+  [[nodiscard]] const numeric::CMatrix& matrix() const noexcept {
+    return w_;
+  }
+
+ private:
+  std::size_t dim_;
+  std::size_t rank_ = 0;
+  numeric::CMatrix w_;
+};
+
+}  // namespace rfade::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file filter.hpp
+/// \brief Young-Beaulieu Doppler filter design (paper Eq. 21) and the
+///        analytic post-filter statistics (Eqs. 16, 17, 19).
+///
+/// The filter samples the Jakes Doppler spectrum S(f) = 1/sqrt(1-(f/fm)^2)
+/// on an M-point IDFT grid, with a closed-form area-matching correction at
+/// the band edge k = km = floor(fm M).  Key quantities:
+///
+///   * sum F[k]^2 determines the *post-filter variance* (Eq. 19)
+///       sigma_g^2 = (2 sigma_orig^2 / M^2) sum_k F[k]^2,
+///     the quantity the paper's Sec. 5 algorithm must feed into the
+///     coloring step — ignoring it is the Sorooshyari-Daut flaw (E7).
+///   * g[d] = IDFT{F^2}[d] gives the theoretical branch autocorrelation
+///     (Eqs. 16-17); g[d]/g[0] approximates J0(2 pi fm d) (Eq. 20).
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::doppler {
+
+/// A designed Doppler filter for an M-point IDFT generator.
+struct DopplerFilterDesign {
+  /// Real, non-negative coefficients F[0..M-1]; symmetric (F[M-k] = F[k]).
+  numeric::RVector coefficients;
+  /// Normalised maximum Doppler fm = Fm / Fs, 0 < fm <= 0.5.
+  double normalized_doppler = 0.0;
+  /// Band-edge index km = floor(fm M).
+  std::size_t km = 0;
+
+  [[nodiscard]] std::size_t size() const { return coefficients.size(); }
+};
+
+/// Design the Eq. (21) filter.
+/// \pre m >= 8, 0 < fm < 0.5, and floor(fm*m) >= 1.
+[[nodiscard]] DopplerFilterDesign young_beaulieu_filter(std::size_t m,
+                                                        double fm);
+
+/// Analytic variance of the generator output (Eq. 19):
+/// sigma_g^2 = (2 sigma_orig^2 / M^2) sum_k F[k]^2.
+[[nodiscard]] double post_filter_variance(const DopplerFilterDesign& design,
+                                          double input_variance_per_dim);
+
+/// g[d] for d = 0..max_lag (Eq. 17): the IDFT of {F[k]^2}.  For the real
+/// symmetric Eq. (21) filter g is real; the real part is returned.
+[[nodiscard]] numeric::RVector theoretical_autocorrelation(
+    const DopplerFilterDesign& design, std::size_t max_lag);
+
+/// g[d]/g[0] for d = 0..max_lag — the normalised autocorrelation that
+/// Eq. (20) identifies with J0(2 pi fm d).
+[[nodiscard]] numeric::RVector theoretical_normalized_autocorrelation(
+    const DopplerFilterDesign& design, std::size_t max_lag);
+
+}  // namespace rfade::doppler

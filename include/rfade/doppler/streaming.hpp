@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file streaming.hpp
+/// \brief Continuous (unbounded-length) Doppler-faded sample stream.
+///
+/// The paper's real-time algorithm (Sec. 5) produces one M-sample block per
+/// IDFT; a simulation that runs longer than M samples needs consecutive
+/// blocks.  Naively concatenating independent blocks puts an
+/// autocorrelation discontinuity at every boundary.  StreamingFadingSource
+/// hides it with an equal-power crossfade: over the last `overlap` samples
+/// of each block the output is
+///
+///     y = sqrt(1 - w) * current + sqrt(w) * next,   w: 0 -> 1,
+///
+/// which preserves the variance and Gaussianity exactly (the blocks are
+/// independent), keeps the within-block autocorrelation J0(2 pi fm d), and
+/// degrades it only inside the overlap window.  This is the standard
+/// overlap trade-off; choose overlap << M for fidelity.
+
+#include "rfade/doppler/idft_generator.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::doppler {
+
+/// Unbounded stream of complex Gaussian fading samples with a Jakes
+/// Doppler spectrum.
+class StreamingFadingSource {
+ public:
+  /// \param m        IDFT block size M.
+  /// \param fm       normalised maximum Doppler in (0, 0.5).
+  /// \param input_variance_per_dim sigma_orig^2 of the branch generator.
+  /// \param overlap  crossfade length in samples; \pre overlap < m / 2.
+  StreamingFadingSource(std::size_t m, double fm,
+                        double input_variance_per_dim, std::size_t overlap);
+
+  /// Next complex fading sample.
+  [[nodiscard]] numeric::cdouble next(random::Rng& rng);
+
+  /// Fill \p count samples into a vector.
+  [[nodiscard]] numeric::CVector take(std::size_t count, random::Rng& rng);
+
+  /// Output variance (Eq. 19) — unchanged by the equal-power crossfade.
+  [[nodiscard]] double output_variance() const noexcept {
+    return branch_.output_variance();
+  }
+
+  /// The underlying block generator.
+  [[nodiscard]] const IdftRayleighBranch& branch() const noexcept {
+    return branch_;
+  }
+
+ private:
+  void advance_block(random::Rng& rng);
+
+  IdftRayleighBranch branch_;
+  std::size_t overlap_;
+  numeric::CVector current_;
+  numeric::CVector next_;
+  std::size_t position_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace rfade::doppler

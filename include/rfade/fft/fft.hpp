@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file fft.hpp
+/// \brief Complex FFT: iterative radix-2 Cooley-Tukey plus Bluestein's
+///        algorithm for arbitrary lengths.
+///
+/// Conventions (matching the paper's Fig. 2 / Eq. (17) usage):
+///   forward : X[k] = sum_l x[l] e^{-i 2 pi k l / N}     (unnormalised)
+///   inverse : x[l] = sum_k X[k] e^{+i 2 pi k l / N}     (unnormalised)
+///   idft    : inverse scaled by 1/N — the exact operator in the paper's
+///             u_j[l] = (1/M) sum_k U_j[k] e^{i 2 pi k l / M}.
+///
+/// The Young-Beaulieu generator uses M = 4096 (a power of two) but the
+/// library supports any M >= 1 via Bluestein, so callers can match an
+/// arbitrary autocorrelation-design length.
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::fft {
+
+using numeric::cdouble;
+using numeric::CVector;
+
+/// Transform direction (see file comment for sign conventions).
+enum class Direction { Forward, Inverse };
+
+/// True when \p n is a power of two (n == 0 returns false).
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// In-place radix-2 FFT; \p data.size() must be a power of two.
+void fft_pow2_inplace(CVector& data, Direction direction);
+
+/// FFT of any length: radix-2 when possible, Bluestein otherwise.
+/// Unnormalised in both directions.
+[[nodiscard]] CVector transform(const CVector& data, Direction direction);
+
+/// Unnormalised forward DFT.
+[[nodiscard]] CVector dft(const CVector& data);
+
+/// Inverse DFT including the 1/N factor — the paper's IDFT operator.
+[[nodiscard]] CVector idft(const CVector& data);
+
+/// O(N^2) reference DFT used by the test suite to validate the FFT.
+[[nodiscard]] CVector naive_dft(const CVector& data, Direction direction);
+
+}  // namespace rfade::fft

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// \brief Complex Cholesky factorization K = L L^H.
+///
+/// Cholesky is what the conventional generators ([4], [5], [6] in the
+/// paper) use to obtain the coloring matrix, and its hard requirement of
+/// positive *definiteness* is exactly the shortcoming the proposed
+/// eigendecomposition route removes.  rfade keeps a careful implementation
+/// both as a baseline ingredient and as the fast path whenever the caller
+/// knows K is PD (ablation A1).
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::numeric {
+
+/// Lower-triangular L with K = L L^H.
+///
+/// \param k Hermitian matrix (validated).
+/// \param tolerance pivot threshold relative to the largest diagonal entry;
+///        pivots at or below it raise NotPositiveDefiniteError, mirroring
+///        the round-off failures the paper reports for MATLAB's chol.
+/// \throws NotPositiveDefiniteError when K is not numerically PD.
+[[nodiscard]] CMatrix cholesky(const CMatrix& k, double tolerance = 0.0);
+
+/// True when cholesky(k) succeeds — i.e. K is numerically positive definite.
+[[nodiscard]] bool is_positive_definite(const CMatrix& k,
+                                        double tolerance = 0.0);
+
+/// Solve L y = b for lower-triangular L (unit checks only in debug);
+/// used by tests to validate factors.
+[[nodiscard]] CVector solve_lower_triangular(const CMatrix& l,
+                                             const CVector& b);
+
+}  // namespace rfade::numeric

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file eigen_hermitian.hpp
+/// \brief Hermitian eigendecomposition K = V diag(lambda) V^H.
+///
+/// This is the substrate for the paper's Sections 4.2 (forced positive
+/// semi-definiteness) and 4.3 (eigendecomposition-based coloring matrix).
+/// Two independent solvers are provided:
+///
+///  * `Jacobi` — cyclic complex Jacobi rotations.  Unconditionally robust,
+///    quadratically convergent, O(n^3) per sweep; the reference method.
+///  * `TridiagonalQL` — complex Householder reduction to a real symmetric
+///    tridiagonal matrix followed by implicit-shift QL.  The fast path for
+///    larger matrices, cross-validated against Jacobi in the test suite and
+///    compared in the A1 ablation bench.
+///
+/// Both return eigenvalues in ascending order with a unitary matrix of
+/// eigenvectors in matching column order.
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::numeric {
+
+/// Result of a Hermitian eigendecomposition.
+struct HermitianEigen {
+  /// Eigenvalues, ascending.  Always real for Hermitian input.
+  RVector values;
+  /// Unitary matrix whose j-th column is the eigenvector of values[j].
+  CMatrix vectors;
+};
+
+/// Which algorithm computes the decomposition.
+enum class EigenMethod {
+  Jacobi,        ///< cyclic complex Jacobi rotations (reference)
+  TridiagonalQL  ///< Householder tridiagonalisation + implicit QL (fast)
+};
+
+/// Tuning knobs for the eigensolvers.
+struct EigenOptions {
+  /// Convergence threshold relative to the Frobenius norm of the input.
+  double tolerance = 1e-14;
+  /// Maximum Jacobi sweeps / QL iterations per eigenvalue.
+  int max_iterations = 60;
+};
+
+/// Eigendecomposition via cyclic complex Jacobi rotations.
+/// \param a Hermitian matrix (validated; ContractViolation otherwise).
+/// \throws ConvergenceError if the off-diagonal mass does not vanish.
+[[nodiscard]] HermitianEigen eigen_hermitian_jacobi(
+    const CMatrix& a, const EigenOptions& options = {});
+
+/// Eigendecomposition via Householder tridiagonalisation + implicit-shift QL.
+/// \param a Hermitian matrix (validated; ContractViolation otherwise).
+/// \throws ConvergenceError if QL exceeds its iteration budget.
+[[nodiscard]] HermitianEigen eigen_hermitian_ql(const CMatrix& a,
+                                                const EigenOptions& options = {});
+
+/// Dispatch on \p method.
+[[nodiscard]] HermitianEigen eigen_hermitian(
+    const CMatrix& a, EigenMethod method = EigenMethod::TridiagonalQL,
+    const EigenOptions& options = {});
+
+/// Reconstruct V diag(values) V^H — used by tests and by the PSD-forcing
+/// step (paper Eq. "K = V Lambda V^H").
+[[nodiscard]] CMatrix reconstruct(const HermitianEigen& eig);
+
+}  // namespace rfade::numeric

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file matrix.hpp
+/// \brief Dense row-major matrix container used throughout rfade.
+///
+/// rfade's covariance matrices are small (N = number of envelopes, rarely
+/// more than a few hundred), so a plain contiguous row-major container with
+/// unchecked `operator()` and checked `at()` covers every need; all heavy
+/// algorithms live in free functions (matrix_ops.hpp, eigen_hermitian.hpp,
+/// cholesky.hpp).
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::numeric {
+
+/// Dense row-major matrix over an arithmetic or complex element type.
+template <typename T>
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// \p rows x \p cols matrix with every element set to \p value.
+  Matrix(std::size_t rows, std::size_t cols, T value = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Build from nested braces: Matrix<double>::from_rows({{1,2},{3,4}}).
+  /// All rows must have equal length.
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<T>> rows) {
+    Matrix m(rows.size(), rows.size() ? rows.begin()->size() : 0);
+    std::size_t i = 0;
+    for (const auto& row : rows) {
+      RFADE_EXPECTS(row.size() == m.cols_, "ragged initializer rows");
+      std::size_t j = 0;
+      for (const T& value : row) {
+        m(i, j++) = value;
+      }
+      ++i;
+    }
+    return m;
+  }
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n, T{});
+    for (std::size_t i = 0; i < n; ++i) {
+      m(i, i) = T{1};
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  /// Unchecked element access (hot paths).
+  T& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t i, std::size_t j) {
+    RFADE_EXPECTS(i < rows_ && j < cols_, "matrix index out of range");
+    return (*this)(i, j);
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    RFADE_EXPECTS(i < rows_ && j < cols_, "matrix index out of range");
+    return (*this)(i, j);
+  }
+
+  /// Raw contiguous storage (row-major).
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Set every element to \p value.
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Canonical scalar/element aliases used across the library.
+using cdouble = std::complex<double>;
+using CMatrix = Matrix<cdouble>;
+using RMatrix = Matrix<double>;
+using CVector = std::vector<cdouble>;
+using RVector = std::vector<double>;
+
+}  // namespace rfade::numeric

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file matrix_ops.hpp
+/// \brief Free-function linear algebra kernels on Matrix<T>.
+///
+/// Concrete (non-template) signatures for the two element types rfade uses,
+/// double and std::complex<double>.  Everything validates shapes via
+/// contracts and throws rfade::DimensionError-compatible ContractViolation
+/// on mismatch.
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::numeric {
+
+// --- construction / conversion ---------------------------------------------
+
+/// Widen a real matrix to complex.
+[[nodiscard]] CMatrix to_complex(const RMatrix& a);
+
+/// Element-wise real parts.
+[[nodiscard]] RMatrix real_part(const CMatrix& a);
+
+/// Element-wise imaginary parts.
+[[nodiscard]] RMatrix imag_part(const CMatrix& a);
+
+/// Diagonal matrix from a vector.
+[[nodiscard]] CMatrix diag(const CVector& d);
+[[nodiscard]] CMatrix diag(const RVector& d);
+
+/// Main diagonal of a square matrix.
+[[nodiscard]] CVector diagonal(const CMatrix& a);
+
+// --- arithmetic --------------------------------------------------------------
+
+/// C = A * B.
+[[nodiscard]] CMatrix multiply(const CMatrix& a, const CMatrix& b);
+[[nodiscard]] RMatrix multiply(const RMatrix& a, const RMatrix& b);
+
+/// y = A * x.
+[[nodiscard]] CVector multiply(const CMatrix& a, const CVector& x);
+[[nodiscard]] RVector multiply(const RMatrix& a, const RVector& x);
+
+/// A + B and A - B.
+[[nodiscard]] CMatrix add(const CMatrix& a, const CMatrix& b);
+[[nodiscard]] CMatrix subtract(const CMatrix& a, const CMatrix& b);
+
+/// alpha * A.
+[[nodiscard]] CMatrix scale(const CMatrix& a, cdouble alpha);
+
+/// Conjugate transpose A^H.
+[[nodiscard]] CMatrix conjugate_transpose(const CMatrix& a);
+
+/// Transpose (real).
+[[nodiscard]] RMatrix transpose(const RMatrix& a);
+
+/// Gram product L * L^H (the coloring-matrix identity of the paper,
+/// Eq. (10)).
+[[nodiscard]] CMatrix gram(const CMatrix& l);
+
+/// Trace of a square matrix.
+[[nodiscard]] cdouble trace(const CMatrix& a);
+
+// --- norms / comparisons -------------------------------------------------------
+
+/// Frobenius norm sqrt(sum |a_ij|^2) — the metric of the paper's Sec. 4.2
+/// PSD-approximation claim.
+[[nodiscard]] double frobenius_norm(const CMatrix& a);
+[[nodiscard]] double frobenius_norm(const RMatrix& a);
+
+/// Largest |a_ij|.
+[[nodiscard]] double max_abs(const CMatrix& a);
+
+/// Largest |a_ij - b_ij|; shapes must match.
+[[nodiscard]] double max_abs_diff(const CMatrix& a, const CMatrix& b);
+[[nodiscard]] double max_abs_diff(const RMatrix& a, const RMatrix& b);
+
+/// True when ||A - A^H||_max <= tol * max(1, ||A||_max).
+[[nodiscard]] bool is_hermitian(const CMatrix& a, double tol = 1e-12);
+
+/// Nearest Hermitian matrix (A + A^H)/2.
+[[nodiscard]] CMatrix hermitian_part(const CMatrix& a);
+
+}  // namespace rfade::numeric

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file engine.hpp
+/// \brief Abstract uniform-bit source with support for independent streams.
+///
+/// rfade's Monte-Carlo harnesses need *reproducible parallelism*: a run
+/// split over 24 threads must produce the same statistics as a serial run.
+/// Engines therefore expose `fork_stream(id)`, which derives a statistically
+/// independent generator from (seed, id) only — never from thread identity.
+/// The Philox counter-based engine implements this exactly (disjoint counter
+/// spaces); xoshiro does it by hashing the stream id into a fresh seed.
+
+#include <cstdint>
+#include <memory>
+
+namespace rfade::random {
+
+/// Interface for a 64-bit uniform random bit source.
+class RandomEngine {
+ public:
+  virtual ~RandomEngine() = default;
+
+  /// Next 64 uniformly random bits.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// A new engine whose output is independent of this one, identified by
+  /// \p stream_id.  Deterministic: same (engine seed, stream_id) always
+  /// yields the same stream.
+  [[nodiscard]] virtual std::unique_ptr<RandomEngine> fork_stream(
+      std::uint64_t stream_id) const = 0;
+
+  /// Human-readable engine name (used in the A2 ablation tables).
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Uniform double in [0, 1) using the top 53 bits of \p bits.
+[[nodiscard]] inline double to_unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace rfade::random

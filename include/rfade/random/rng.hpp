@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file rng.hpp
+/// \brief The Rng façade: uniform, Gaussian and complex-Gaussian sampling.
+///
+/// Every stochastic component of rfade draws through this class, so the
+/// engine (Philox/xoshiro) and Gaussian algorithm (Box-Muller/polar) can be
+/// swapped for the A2 ablation without touching call sites.  `fork_stream`
+/// provides the deterministic parallel streams used by the Monte-Carlo
+/// harness: stream ids are derived from chunk indices, never thread ids.
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+
+#include "rfade/random/engine.hpp"
+
+namespace rfade::random {
+
+/// Method used to transform uniform bits into standard normal samples.
+enum class GaussianAlgorithm {
+  BoxMuller,  ///< trigonometric Box-Muller, two normals per two uniforms
+  Polar       ///< Marsaglia polar method, rejection-based, no trig calls
+};
+
+/// Convenience tag selecting the underlying engine.
+enum class EngineKind { Philox, Xoshiro };
+
+/// Random number façade used across the library.
+class Rng {
+ public:
+  /// Philox-backed generator with the given seed and stream.
+  explicit Rng(std::uint64_t seed = 0x5EEDF00DULL, std::uint64_t stream = 0);
+
+  /// Generator over an explicit engine/algorithm combination.
+  Rng(EngineKind kind, std::uint64_t seed, std::uint64_t stream,
+      GaussianAlgorithm algorithm = GaussianAlgorithm::BoxMuller);
+
+  Rng(Rng&&) noexcept = default;
+  Rng& operator=(Rng&&) noexcept = default;
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Standard normal N(0, 1).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Zero-mean circularly-symmetric complex Gaussian CN(0, \p variance):
+  /// independent real and imaginary parts, each with variance/2.  This is
+  /// the distribution of the samples u_j in step 6 of the paper's
+  /// algorithm (Sec. 4.4).
+  std::complex<double> complex_gaussian(double variance);
+
+  /// Deterministically derived independent stream (see engine.hpp).
+  [[nodiscard]] Rng fork_stream(std::uint64_t stream_id) const;
+
+  /// Engine name, for reports.
+  [[nodiscard]] const char* engine_name() const;
+
+  /// Gaussian algorithm in use.
+  [[nodiscard]] GaussianAlgorithm algorithm() const noexcept {
+    return algorithm_;
+  }
+
+ private:
+  Rng(std::unique_ptr<RandomEngine> engine, GaussianAlgorithm algorithm);
+
+  std::unique_ptr<RandomEngine> engine_;
+  GaussianAlgorithm algorithm_ = GaussianAlgorithm::BoxMuller;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rfade::random

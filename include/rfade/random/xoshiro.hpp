@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file xoshiro.hpp
+/// \brief xoshiro256++ PRNG (Blackman & Vigna), the fast non-counter engine.
+///
+/// Kept alongside Philox for the A2 ablation: xoshiro is faster per call
+/// but derives parallel streams by re-seeding through SplitMix64 rather
+/// than by construction, so Philox remains rfade's default.
+
+#include <array>
+#include <cstdint>
+
+#include "rfade/random/engine.hpp"
+
+namespace rfade::random {
+
+/// xoshiro256++ with SplitMix64 state initialisation.
+class XoshiroEngine final : public RandomEngine {
+ public:
+  explicit XoshiroEngine(std::uint64_t seed = 0x9E3779B97F4A7C15ULL,
+                         std::uint64_t stream = 0);
+
+  std::uint64_t next_u64() override;
+
+  [[nodiscard]] std::unique_ptr<RandomEngine> fork_stream(
+      std::uint64_t stream_id) const override;
+
+  [[nodiscard]] const char* name() const override { return "xoshiro256++"; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// SplitMix64 step — also used standalone for hashing stream ids.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace rfade::random

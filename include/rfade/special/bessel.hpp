@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file bessel.hpp
+/// \brief Bessel functions of the first kind, J_n for integer order.
+///
+/// These are the paper's workhorse special functions:
+///  * J_0 appears in the Jakes spectral covariance (Eq. 3) and as the target
+///    autocorrelation of every Doppler-faded branch (Eq. 20),
+///  * J_q for integer q >= 0 appears in the Salz-Winters spatial correlation
+///    series (Eqs. 5-6).
+///
+/// Implementation: power series for small argument, Hankel asymptotic
+/// expansion for large argument, stable upward recurrence when n < x and
+/// Miller's normalised downward recurrence when n >= x.  Accuracy is
+/// ~1e-10 absolute or better over the domain rfade uses (|x| < ~1e3,
+/// n < ~200); the test suite cross-checks against libstdc++'s
+/// std::cyl_bessel_j.
+
+namespace rfade::special {
+
+/// J_0(x), zeroth-order Bessel function of the first kind.
+[[nodiscard]] double bessel_j0(double x);
+
+/// J_1(x), first-order Bessel function of the first kind.
+[[nodiscard]] double bessel_j1(double x);
+
+/// J_n(x) for any integer order (negative orders via J_{-n} = (-1)^n J_n).
+[[nodiscard]] double bessel_jn(int n, double x);
+
+}  // namespace rfade::special

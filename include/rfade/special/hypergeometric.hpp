@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file hypergeometric.hpp
+/// \brief Gauss hypergeometric function 2F1(a, b; c; x) by series.
+///
+/// Needed for the *exact* envelope cross-correlation of a bivariate
+/// Rayleigh pair (core/envelope_correlation.hpp):
+///   E[r_1 r_2] = (pi/4) sigma_g1 sigma_g2 2F1(-1/2, -1/2; 1; |rho|^2).
+/// The series converges for |x| < 1 and, because c - a - b = 2 > 0 in that
+/// use, also at x = 1 (value 4/pi).
+
+namespace rfade::special {
+
+/// 2F1(a, b; c; x) via the defining power series.
+/// \pre |x| <= 1 and, when |x| == 1, c - a - b > 0 (else ConvergenceError);
+///      c must not be a non-positive integer.
+[[nodiscard]] double hypergeometric_2f1(double a, double b, double c,
+                                        double x);
+
+}  // namespace rfade::special

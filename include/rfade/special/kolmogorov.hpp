@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file kolmogorov.hpp
+/// \brief Kolmogorov distribution, the asymptotic law of the KS statistic.
+///
+/// The stats module tests whether generated envelopes are Rayleigh (paper
+/// Sec. 4.5) using the one-sample KS test; p-values come from the
+/// Kolmogorov survival function implemented here.
+
+namespace rfade::special {
+
+/// Survival function Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+/// Returns 1 for lambda <= 0.
+[[nodiscard]] double kolmogorov_survival(double lambda);
+
+/// Asymptotic p-value of a one-sample KS statistic \p d on \p n samples,
+/// using the Stephens small-sample correction
+/// lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * d.
+[[nodiscard]] double kolmogorov_p_value(double d, double n);
+
+}  // namespace rfade::special

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file autocorrelation.hpp
+/// \brief FFT-based autocorrelation estimation for complex sequences.
+///
+/// Used to verify the paper's Eq. (20): the normalised autocorrelation of
+/// each Doppler-faded branch must follow J0(2 pi fm d).  The estimator
+/// computes r[d] = (1/W(d)) sum_l x[l+d] conj(x[l]) by zero-padded FFT,
+/// with W(d) = n (biased) or n-d (unbiased).
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Estimator normalisation.
+enum class AutocorrMode {
+  Biased,   ///< divide every lag by n (lower variance, damped tail)
+  Unbiased  ///< divide lag d by n-d (unbiased, noisier tail)
+};
+
+/// Autocorrelation r[0..max_lag] of a complex sequence.
+[[nodiscard]] numeric::CVector autocorrelation(
+    const numeric::CVector& x, std::size_t max_lag,
+    AutocorrMode mode = AutocorrMode::Biased);
+
+/// r[d]/r[0] as a real sequence (real part of the normalised
+/// autocorrelation) — directly comparable to J0(2 pi fm d).
+[[nodiscard]] numeric::RVector normalized_autocorrelation(
+    const numeric::CVector& x, std::size_t max_lag,
+    AutocorrMode mode = AutocorrMode::Biased);
+
+/// O(n * max_lag) reference estimator for validating the FFT version.
+[[nodiscard]] numeric::CVector autocorrelation_direct(
+    const numeric::CVector& x, std::size_t max_lag,
+    AutocorrMode mode = AutocorrMode::Biased);
+
+}  // namespace rfade::stats

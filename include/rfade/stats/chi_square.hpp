@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file chi_square.hpp
+/// \brief Chi-square goodness-of-fit test with equal-probability binning.
+
+#include <functional>
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Outcome of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+  std::size_t bins = 0;
+  std::size_t dof = 0;  ///< bins - 1 (no parameters estimated from data)
+};
+
+/// Chi-square GoF of \p samples against a continuous distribution given by
+/// its \p quantile function.  Bins are equal-probability, so every bin has
+/// expected count n/bins.
+/// \pre bins >= 2 and samples.size() >= 5 * bins (rule-of-thumb validity).
+[[nodiscard]] ChiSquareResult chi_square_gof(
+    const numeric::RVector& samples,
+    const std::function<double(double)>& quantile, std::size_t bins);
+
+}  // namespace rfade::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file distributions.hpp
+/// \brief Analytic distributions the test/bench harnesses compare against.
+///
+/// The Rayleigh distribution is parameterised the way the paper uses it:
+/// the envelope r = |z| of a circularly-symmetric complex Gaussian
+/// z ~ CN(0, sigma_g^2) is Rayleigh with scale sigma = sigma_g / sqrt(2),
+/// mean 0.8862 sigma_g (Eq. 14) and variance 0.2146 sigma_g^2 (Eq. 15).
+
+namespace rfade::stats {
+
+/// Rayleigh distribution with scale parameter sigma (the per-dimension
+/// standard deviation of the underlying complex Gaussian).
+class RayleighDistribution {
+ public:
+  /// \pre sigma > 0.
+  explicit RayleighDistribution(double sigma);
+
+  /// Construct from the power sigma_g^2 of the complex Gaussian whose
+  /// envelope is Rayleigh (paper notation).
+  static RayleighDistribution from_gaussian_power(double sigma_g_squared);
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  /// Inverse CDF; \pre p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;      ///< sigma sqrt(pi/2)
+  [[nodiscard]] double variance() const;  ///< (2 - pi/2) sigma^2
+
+ private:
+  double sigma_;
+};
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Normal CDF with mean/stddev.
+[[nodiscard]] double normal_cdf(double x, double mean, double stddev);
+
+/// Exponential CDF with the given rate lambda (envelope power |z|^2 of a
+/// CN(0, sigma_g^2) variable is exponential with rate 1/sigma_g^2).
+[[nodiscard]] double exponential_cdf(double x, double rate);
+
+}  // namespace rfade::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file fading_metrics.hpp
+/// \brief Level-crossing rate and average fade duration of fading envelopes.
+///
+/// These are the classic second-order statistics of a Rayleigh fading
+/// channel (Rappaport Ch. 5, ref. [9] of the paper).  For a Jakes/Clarke
+/// Doppler spectrum with maximum Doppler frequency f_D and normalised
+/// threshold rho = R / R_rms:
+///     LCR(rho)  = sqrt(2 pi) f_D rho exp(-rho^2)          [crossings/s]
+///     AFD(rho)  = (exp(rho^2) - 1) / (rho f_D sqrt(2 pi)) [s]
+/// The real-time generator's output must match these, which the E8-adjacent
+/// tests and the realtime example verify.
+
+#include <cstddef>
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Empirical second-order fading statistics of one envelope trace.
+struct FadingMetrics {
+  double level_crossing_rate = 0.0;  ///< up-crossings per second
+  double average_fade_duration = 0.0;  ///< seconds below threshold per fade
+  std::size_t crossings = 0;           ///< raw up-crossing count
+};
+
+/// Measure LCR/AFD of \p envelope sampled at \p sample_rate_hz against the
+/// absolute \p threshold.
+[[nodiscard]] FadingMetrics measure_fading_metrics(
+    const numeric::RVector& envelope, double threshold,
+    double sample_rate_hz);
+
+/// Theoretical Rayleigh LCR at normalised threshold \p rho (R/R_rms).
+[[nodiscard]] double theoretical_lcr(double rho, double max_doppler_hz);
+
+/// Theoretical Rayleigh AFD at normalised threshold \p rho (R/R_rms).
+[[nodiscard]] double theoretical_afd(double rho, double max_doppler_hz);
+
+/// Root-mean-square value of an envelope trace.
+[[nodiscard]] double rms(const numeric::RVector& envelope);
+
+}  // namespace rfade::stats

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Uniform-bin histogram with density normalisation.
+
+#include <cstddef>
+#include <vector>
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Fixed-range uniform histogram; values outside [lo, hi) are clamped into
+/// the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  /// \pre hi > lo, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const numeric::RVector& xs);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+
+  /// Centre of bin \p bin.
+  [[nodiscard]] double center(std::size_t bin) const;
+
+  /// Bin width.
+  [[nodiscard]] double width() const noexcept { return width_; }
+
+  /// Empirical density at bin \p bin: count / (total * width); comparable
+  /// to an analytic pdf.
+  [[nodiscard]] double density(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rfade::stats

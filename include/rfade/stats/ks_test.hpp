@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file ks_test.hpp
+/// \brief One-sample Kolmogorov-Smirnov goodness-of-fit test.
+///
+/// The canonical check that generated envelopes are Rayleigh distributed
+/// (paper Sec. 4.5): the KS distance between the empirical CDF and the
+/// analytic Rayleigh CDF must be statistically unremarkable.
+
+#include <functional>
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Outcome of a one-sample KS test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic (Stephens-corrected) p-value
+  std::size_t n = 0;       ///< sample count
+};
+
+/// KS statistic and p-value of \p samples against the CDF \p cdf.
+/// \p samples need not be sorted (a sorted copy is made internally).
+[[nodiscard]] KsResult ks_test(numeric::RVector samples,
+                               const std::function<double(double)>& cdf);
+
+/// Two-sample KS statistic (no p-value); used to compare generator variants.
+[[nodiscard]] double ks_two_sample_statistic(numeric::RVector a,
+                                             numeric::RVector b);
+
+}  // namespace rfade::stats

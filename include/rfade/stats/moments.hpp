@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file moments.hpp
+/// \brief Running moments (Welford) and simple descriptive statistics.
+
+#include <cstddef>
+#include <span>
+
+#include "rfade/numeric/matrix.hpp"
+
+namespace rfade::stats {
+
+/// Numerically stable streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Population variance (divides by n). Returns 0 for n < 1.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample variance (divides by n-1). Returns 0 for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of a span; 0 when empty.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance of a span; 0 when size < 1.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Mean power (1/n) sum |z|^2 of complex samples; 0 when empty.
+[[nodiscard]] double mean_power(std::span<const numeric::cdouble> zs);
+
+/// Linear-interpolation quantile of *sorted* data, p in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Pearson correlation coefficient of two equal-length spans.
+[[nodiscard]] double pearson_correlation(std::span<const double> a,
+                                         std::span<const double> b);
+
+}  // namespace rfade::stats

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file cli.hpp
+/// \brief Tiny `--flag value` command-line parser for the example programs.
+///
+/// Examples accept a handful of numeric overrides (sample counts, Doppler
+/// parameters, output paths).  The parser understands `--name value`,
+/// `--name=value`, and bare boolean flags `--name`.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rfade::support {
+
+/// Immutable view of parsed command-line options.
+class ArgParser {
+ public:
+  /// Parse argv; throws rfade::Error on malformed input (e.g. positional
+  /// arguments, which no rfade example accepts).
+  ArgParser(int argc, const char* const* argv);
+
+  /// True when `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name`, or \p fallback when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Numeric value of `--name`, or \p fallback when absent; throws
+  /// rfade::ValueError when present but unparsable.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Integer value of `--name`, or \p fallback when absent; throws
+  /// rfade::ValueError when present but unparsable or negative.
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace rfade::support

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file contracts.hpp
+/// \brief Lightweight Expects/Ensures-style contract checks.
+///
+/// Following the C++ Core Guidelines (I.6/I.8), public API preconditions are
+/// stated explicitly and checked at the call boundary.  Violations throw
+/// rfade::ContractViolation carrying the failing expression and location;
+/// they are programming errors in the caller, not recoverable conditions,
+/// but throwing keeps the library usable from tests and long-running
+/// simulation harnesses.
+
+#include <string>
+
+#include "rfade/support/error.hpp"
+
+namespace rfade::detail {
+
+[[noreturn]] inline void raise_contract(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& message) {
+  std::string what(kind);
+  what += " failed: (";
+  what += expr;
+  what += ") at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw ContractViolation(what);
+}
+
+}  // namespace rfade::detail
+
+/// Check a precondition; throws rfade::ContractViolation when \p cond is false.
+#define RFADE_EXPECTS(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rfade::detail::raise_contract("precondition", #cond, __FILE__,    \
+                                      __LINE__, (msg));                   \
+    }                                                                     \
+  } while (false)
+
+/// Check a postcondition; throws rfade::ContractViolation when \p cond is false.
+#define RFADE_ENSURES(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rfade::detail::raise_contract("postcondition", #cond, __FILE__,   \
+                                      __LINE__, (msg));                   \
+    }                                                                     \
+  } while (false)

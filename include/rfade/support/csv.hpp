@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV emission for example programs and bench harnesses.
+///
+/// Examples dump envelope traces and sweep results as CSV so they can be
+/// plotted externally (gnuplot/matplotlib) and diffed against the paper's
+/// figures.  Only writing is supported; rfade never parses CSV.
+
+#include <complex>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rfade::support {
+
+/// Streams rows of mixed string/number cells to a CSV file.
+class CsvWriter {
+ public:
+  /// Open \p path for writing; throws rfade::Error when the file cannot
+  /// be created.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row of preformatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Write a row of doubles at full precision.
+  void write_numeric_row(const std::vector<double>& cells);
+
+  /// Format helpers shared with the table printer.
+  static std::string format(double value, int precision = 12);
+  static std::string format(std::complex<double> value, int precision = 6);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace rfade::support

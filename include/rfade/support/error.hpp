@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Exception hierarchy used across the rfade library.
+///
+/// All library errors derive from rfade::Error so that callers can catch a
+/// single base type.  Specific subclasses communicate *why* an operation
+/// failed (dimension mismatch, loss of positive definiteness, failure to
+/// converge, ...), which the baseline-shortcoming experiments (DESIGN.md E9)
+/// rely on to distinguish failure modes of the conventional methods.
+
+#include <stdexcept>
+#include <string>
+
+namespace rfade {
+
+/// Base class of every exception thrown by the rfade library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A checked API precondition or postcondition was violated.
+class ContractViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Operand shapes are incompatible (e.g. multiplying a 3x2 by a 4x4 matrix).
+class DimensionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A scalar argument is outside its mathematical domain.
+class ValueError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An iterative numerical routine failed to converge within its budget.
+class ConvergenceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A factorization requiring positive definiteness met a matrix without it.
+///
+/// This is the precise failure mode of the Cholesky-based conventional
+/// generators ([4], [5], [6] in the paper) that the proposed
+/// eigendecomposition-based coloring avoids.
+class NotPositiveDefiniteError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace rfade

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file parallel.hpp
+/// \brief Deterministic blocked parallel-for on top of the thread pool.
+///
+/// Work over [0, n) is split into fixed-size *chunks* whose boundaries do
+/// not depend on the number of worker threads.  Callers that need
+/// reproducible randomness key a counter-based RNG stream off the chunk
+/// index, so a run with 1 thread and a run with 24 threads produce
+/// bit-identical results — the property the DESIGN.md E10 scaling bench and
+/// the parallel Monte-Carlo validation tests rely on.
+
+#include <cstddef>
+#include <functional>
+
+namespace rfade::support {
+
+/// Parameters controlling how parallel_for_chunked splits its range.
+struct ChunkingOptions {
+  /// Elements per chunk; boundaries are i*chunk_size regardless of threads.
+  std::size_t chunk_size = 1024;
+  /// Force serial execution (useful for debugging and as a baseline).
+  bool serial = false;
+};
+
+/// Invoke `body(begin, end, chunk_index)` over consecutive chunks of [0, n).
+///
+/// Chunks are distributed over ThreadPool::global().  The chunk decomposition
+/// is a pure function of (n, options.chunk_size), never of thread count.
+/// The first exception thrown by any chunk is rethrown on the caller's
+/// thread after all chunks finish.
+void parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t begin, std::size_t end,
+                             std::size_t chunk_index)>& body,
+    const ChunkingOptions& options = {});
+
+/// Number of chunks parallel_for_chunked will create for a range of size
+/// \p n — callers use this to pre-size per-chunk accumulators.
+[[nodiscard]] std::size_t chunk_count(std::size_t n,
+                                      const ChunkingOptions& options = {});
+
+}  // namespace rfade::support

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Fixed-width console tables for the experiment harnesses.
+///
+/// Every bench binary reports its results as an aligned text table mirroring
+/// the corresponding artefact in the paper (EXPERIMENTS.md records the
+/// mapping).  Keeping the printer in one place makes bench output uniform.
+
+#include <string>
+#include <vector>
+
+namespace rfade::support {
+
+/// Collects rows of cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// \param title caption printed above the table.
+  explicit TablePrinter(std::string title);
+
+  /// Set the column headers (defines the column count).
+  void set_header(const std::vector<std::string>& header);
+
+  /// Append a data row; shorter rows are padded with empty cells.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Render the table to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Render the table to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format \p value with \p precision significant-looking fixed digits.
+[[nodiscard]] std::string fixed(double value, int precision = 4);
+
+/// Format \p value in scientific notation with \p precision digits.
+[[nodiscard]] std::string scientific(double value, int precision = 3);
+
+}  // namespace rfade::support

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief A small fixed-size thread pool with future-based task submission.
+///
+/// The Monte-Carlo harnesses in bench/ fan envelope generation out over a
+/// pool of worker threads.  The pool is deliberately simple — one shared
+/// queue guarded by a mutex — because rfade's parallel tasks are coarse
+/// (thousands of envelope draws per task), so queue contention is
+/// negligible.  Exceptions thrown inside a task surface through the
+/// returned future, per the Core Guidelines rule that errors must not be
+/// swallowed on background threads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfade::support {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Create a pool with \p thread_count workers.
+  /// \param thread_count number of workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue \p task; the returned future yields the task's result or
+  /// rethrows its exception.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged]() { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads in the pool.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace rfade::support

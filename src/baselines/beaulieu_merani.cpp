@@ -1,0 +1,35 @@
+#include "rfade/baselines/beaulieu_merani.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::baselines {
+
+BeaulieuMeraniGenerator::BeaulieuMeraniGenerator(const numeric::CMatrix& k)
+    : dim_(k.rows()) {
+  core::validate_covariance_matrix(k);
+  const double power = k(0, 0).real();
+  for (std::size_t j = 1; j < dim_; ++j) {
+    if (std::abs(k(j, j).real() - power) > 1e-9 * power) {
+      throw ValueError(
+          "BeaulieuMeraniGenerator: method supports equal powers only");
+    }
+  }
+  coloring_ = numeric::cholesky(k);  // throws on non-PD K
+}
+
+numeric::CVector BeaulieuMeraniGenerator::sample(random::Rng& rng) const {
+  numeric::CVector z(dim_, numeric::cdouble{});
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const numeric::cdouble w = rng.complex_gaussian(1.0);
+    for (std::size_t i = j; i < dim_; ++i) {  // L is lower triangular
+      z[i] += coloring_(i, j) * w;
+    }
+  }
+  return z;
+}
+
+}  // namespace rfade::baselines

@@ -1,0 +1,53 @@
+#include "rfade/baselines/ertel_reed.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::baselines {
+
+ErtelReedGenerator::ErtelReedGenerator(double power, std::complex<double> rho)
+    : power_(power), rho_(rho) {
+  if (!(power > 0.0)) {
+    throw ValueError("ErtelReedGenerator: power must be positive");
+  }
+  const double mag = std::abs(rho);
+  if (mag > 1.0 + 1e-12) {
+    throw ValueError("ErtelReedGenerator: |rho| must be <= 1");
+  }
+  orthogonal_gain_ = std::sqrt(std::max(0.0, 1.0 - mag * mag));
+}
+
+namespace {
+
+std::complex<double> rho_from_matrix(const numeric::CMatrix& k) {
+  core::validate_covariance_matrix(k);
+  if (k.rows() != 2) {
+    throw ValueError("ErtelReedGenerator: method is defined for N = 2 only");
+  }
+  const double p0 = k(0, 0).real();
+  const double p1 = k(1, 1).real();
+  if (std::abs(p0 - p1) > 1e-9 * p0) {
+    throw ValueError("ErtelReedGenerator: method requires equal powers");
+  }
+  return k(0, 1) / p0;
+}
+
+}  // namespace
+
+ErtelReedGenerator::ErtelReedGenerator(const numeric::CMatrix& k)
+    : ErtelReedGenerator(k(0, 0).real(), rho_from_matrix(k)) {}
+
+numeric::CVector ErtelReedGenerator::sample(random::Rng& rng) const {
+  const double sigma = std::sqrt(power_);
+  const numeric::cdouble w1 = rng.complex_gaussian(1.0);
+  const numeric::cdouble w2 = rng.complex_gaussian(1.0);
+  numeric::CVector z(2);
+  z[0] = sigma * w1;
+  // E[z_1 conj(z_2)] = sigma^2 rho requires the conj(rho) weight on w1.
+  z[1] = sigma * (std::conj(rho_) * w1 + orthogonal_gain_ * w2);
+  return z;
+}
+
+}  // namespace rfade::baselines

@@ -1,0 +1,28 @@
+#include "rfade/baselines/natarajan.hpp"
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+
+namespace rfade::baselines {
+
+NatarajanGenerator::NatarajanGenerator(const numeric::CMatrix& k)
+    : dim_(k.rows()) {
+  core::validate_covariance_matrix(k);
+  // Eq. (8) of [5]: covariances forced real.
+  achieved_ = numeric::to_complex(numeric::real_part(k));
+  coloring_ = numeric::cholesky(achieved_);  // throws on non-PD Re(K)
+}
+
+numeric::CVector NatarajanGenerator::sample(random::Rng& rng) const {
+  numeric::CVector z(dim_, numeric::cdouble{});
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const numeric::cdouble w = rng.complex_gaussian(1.0);
+    for (std::size_t i = j; i < dim_; ++i) {
+      z[i] += coloring_(i, j) * w;
+    }
+  }
+  return z;
+}
+
+}  // namespace rfade::baselines

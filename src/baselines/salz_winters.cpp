@@ -1,0 +1,82 @@
+#include "rfade/baselines/salz_winters.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::baselines {
+
+numeric::RMatrix composite_real_covariance(const numeric::CMatrix& k) {
+  const std::size_t n = k.rows();
+  numeric::RMatrix c(2 * n, 2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = 0.5 * k(i, j).real();   // E[x_i x_j] = E[y_i y_j]
+      const double b = -0.5 * k(i, j).imag();  // E[x_i y_j]
+      c(i, j) = a;
+      c(n + i, n + j) = a;
+      c(i, n + j) = b;
+      c(n + j, i) = b;
+    }
+  }
+  return c;
+}
+
+SalzWintersGenerator::SalzWintersGenerator(const numeric::CMatrix& k)
+    : dim_(k.rows()) {
+  core::validate_covariance_matrix(k);
+  const double power = k(0, 0).real();
+  for (std::size_t j = 1; j < dim_; ++j) {
+    if (std::abs(k(j, j).real() - power) > 1e-9 * power) {
+      throw ValueError(
+          "SalzWintersGenerator: method supports equal powers only");
+    }
+  }
+
+  composite_ = composite_real_covariance(k);
+
+  // Eigen-decompose the real symmetric composite matrix (as a complex
+  // Hermitian matrix with zero imaginary part).
+  const numeric::HermitianEigen eig =
+      numeric::eigen_hermitian(numeric::to_complex(composite_));
+  const std::size_t two_n = 2 * dim_;
+  double max_abs = 0.0;
+  for (const double lambda : eig.values) {
+    max_abs = std::max(max_abs, std::abs(lambda));
+  }
+  if (!eig.values.empty() && eig.values.front() < -1e-10 * std::max(max_abs, 1.0)) {
+    // D^{1/2} would be complex and the resulting covariance wrong — the
+    // failure mode the paper attributes to this method.
+    throw NotPositiveDefiniteError(
+        "SalzWintersGenerator: composite covariance is not positive "
+        "semi-definite (smallest eigenvalue " +
+        std::to_string(eig.values.front()) + ")");
+  }
+
+  coloring_ = numeric::RMatrix(two_n, two_n, 0.0);
+  for (std::size_t col = 0; col < two_n; ++col) {
+    const double root = std::sqrt(std::max(eig.values[col], 0.0));
+    for (std::size_t row = 0; row < two_n; ++row) {
+      coloring_(row, col) = eig.vectors(row, col).real() * root;
+    }
+  }
+}
+
+numeric::CVector SalzWintersGenerator::sample(random::Rng& rng) const {
+  const std::size_t two_n = 2 * dim_;
+  numeric::RVector a(two_n);
+  for (double& value : a) {
+    value = rng.gaussian();
+  }
+  const numeric::RVector c = numeric::multiply(coloring_, a);
+  numeric::CVector z(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    z[j] = numeric::cdouble(c[j], c[dim_ + j]);
+  }
+  return z;
+}
+
+}  // namespace rfade::baselines

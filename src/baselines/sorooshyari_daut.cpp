@@ -1,0 +1,101 @@
+#include "rfade/baselines/sorooshyari_daut.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::baselines {
+
+namespace {
+
+void require_equal_powers(const numeric::CMatrix& k) {
+  const double power = k(0, 0).real();
+  for (std::size_t j = 1; j < k.rows(); ++j) {
+    if (std::abs(k(j, j).real() - power) > 1e-9 * power) {
+      throw ValueError(
+          "SorooshyariDaut: method supports equal powers only");
+    }
+  }
+}
+
+numeric::CMatrix epsilon_forced_cholesky(const numeric::CMatrix& k,
+                                         double epsilon,
+                                         numeric::CMatrix* forced_out,
+                                         double* distance_out) {
+  core::PsdOptions psd;
+  psd.policy = core::PsdPolicy::EpsilonReplace;
+  psd.epsilon = epsilon;
+  const core::PsdResult forced = core::force_positive_semidefinite(k, psd);
+  if (forced_out != nullptr) {
+    *forced_out = forced.matrix;
+  }
+  if (distance_out != nullptr) {
+    *distance_out = forced.frobenius_distance;
+  }
+  // All eigenvalues are >= epsilon, so Cholesky is performable; residual
+  // round-off failures (the MATLAB issue reported in the paper) surface as
+  // NotPositiveDefiniteError.
+  return numeric::cholesky(forced.matrix);
+}
+
+}  // namespace
+
+SorooshyariDautGenerator::SorooshyariDautGenerator(const numeric::CMatrix& k,
+                                                   double epsilon)
+    : dim_(k.rows()) {
+  core::validate_covariance_matrix(k);
+  require_equal_powers(k);
+  coloring_ = epsilon_forced_cholesky(k, epsilon, &forced_, &forcing_distance_);
+}
+
+numeric::CVector SorooshyariDautGenerator::sample(random::Rng& rng) const {
+  numeric::CVector z(dim_, numeric::cdouble{});
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const numeric::cdouble w = rng.complex_gaussian(1.0);
+    for (std::size_t i = j; i < dim_; ++i) {
+      z[i] += coloring_(i, j) * w;
+    }
+  }
+  return z;
+}
+
+SorooshyariDautRealTime::SorooshyariDautRealTime(const numeric::CMatrix& k,
+                                                 std::size_t m, double fm,
+                                                 double input_variance_per_dim,
+                                                 double epsilon)
+    : dim_(k.rows()),
+      branch_(m, fm, input_variance_per_dim),
+      assumed_variance_(2.0 * input_variance_per_dim) {
+  core::validate_covariance_matrix(k);
+  require_equal_powers(k);
+  coloring_ = epsilon_forced_cholesky(k, epsilon, nullptr, nullptr);
+}
+
+numeric::CMatrix SorooshyariDautRealTime::generate_block(
+    random::Rng& rng) const {
+  const std::size_t m = branch_.block_size();
+  numeric::CMatrix branch_outputs(dim_, m);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const numeric::CVector u = branch_.generate_block(rng);
+    for (std::size_t l = 0; l < m; ++l) {
+      branch_outputs(j, l) = u[l];
+    }
+  }
+  // Step 6 of [6]: the branch outputs are fed in as if their variance were
+  // still the input variance — no Eq. (19) correction.
+  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
+  numeric::CMatrix block(m, dim_, numeric::cdouble{});
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const numeric::cdouble w = branch_outputs(j, l) * inv_sigma;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        block(l, i) += coloring_(i, j) * w;
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace rfade::baselines

@@ -1,0 +1,44 @@
+#include "rfade/baselines/sum_of_sinusoids.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::baselines {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+SumOfSinusoidsGenerator::SumOfSinusoidsGenerator(std::size_t num_paths,
+                                                 double fm)
+    : num_paths_(num_paths), fm_(fm) {
+  RFADE_EXPECTS(num_paths >= 1, "SumOfSinusoids: need at least one path");
+  RFADE_EXPECTS(fm > 0.0 && fm <= 0.5,
+                "SumOfSinusoids: fm must lie in (0, 0.5]");
+}
+
+numeric::CVector SumOfSinusoidsGenerator::generate_block(
+    std::size_t length, random::Rng& rng) const {
+  RFADE_EXPECTS(length > 0, "SumOfSinusoids: length must be positive");
+  // Random arrival angles and phases for this realisation.
+  numeric::RVector doppler(num_paths_);
+  numeric::RVector phase(num_paths_);
+  for (std::size_t n = 0; n < num_paths_; ++n) {
+    doppler[n] = kTwoPi * fm_ * std::cos(kTwoPi * rng.uniform01());
+    phase[n] = kTwoPi * rng.uniform01();
+  }
+  const double amplitude = std::sqrt(2.0 / static_cast<double>(num_paths_));
+  numeric::CVector block(length);
+  for (std::size_t l = 0; l < length; ++l) {
+    numeric::cdouble acc{};
+    for (std::size_t n = 0; n < num_paths_; ++n) {
+      const double theta = doppler[n] * static_cast<double>(l) + phase[n];
+      acc += numeric::cdouble(std::cos(theta), std::sin(theta));
+    }
+    block[l] = amplitude * acc;
+  }
+  return block;
+}
+
+}  // namespace rfade::baselines

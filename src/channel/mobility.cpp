@@ -1,0 +1,46 @@
+#include "rfade/channel/mobility.hpp"
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::channel {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+double wavelength_m(double carrier_hz) {
+  RFADE_EXPECTS(carrier_hz > 0.0, "wavelength: carrier must be positive");
+  return kSpeedOfLight / carrier_hz;
+}
+
+double max_doppler_hz(double carrier_hz, double speed_mps) {
+  RFADE_EXPECTS(carrier_hz > 0.0, "max_doppler: carrier must be positive");
+  RFADE_EXPECTS(speed_mps >= 0.0, "max_doppler: speed must be non-negative");
+  return speed_mps * carrier_hz / kSpeedOfLight;
+}
+
+double max_doppler_hz_kmh(double carrier_hz, double speed_kmh) {
+  return max_doppler_hz(carrier_hz, speed_kmh / 3.6);
+}
+
+double normalized_doppler(double max_doppler, double sample_rate_hz) {
+  RFADE_EXPECTS(sample_rate_hz > 0.0,
+                "normalized_doppler: sample rate must be positive");
+  RFADE_EXPECTS(max_doppler >= 0.0,
+                "normalized_doppler: Doppler must be non-negative");
+  return max_doppler / sample_rate_hz;
+}
+
+double coherence_time_s(double max_doppler) {
+  RFADE_EXPECTS(max_doppler > 0.0,
+                "coherence_time: Doppler must be positive");
+  return 9.0 / (16.0 * kPi * max_doppler);
+}
+
+double coherence_bandwidth_hz(double rms_delay_spread_s) {
+  RFADE_EXPECTS(rms_delay_spread_s > 0.0,
+                "coherence_bandwidth: delay spread must be positive");
+  return 1.0 / (5.0 * rms_delay_spread_s);
+}
+
+}  // namespace rfade::channel

@@ -1,0 +1,132 @@
+#include "rfade/channel/spatial.hpp"
+
+#include <cmath>
+
+#include "rfade/special/bessel.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::channel {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+void validate(const SpatialScenario& s) {
+  RFADE_EXPECTS(s.antenna_count >= 1, "SpatialScenario: need >= 1 antenna");
+  RFADE_EXPECTS(s.spacing_wavelengths > 0.0,
+                "SpatialScenario: spacing must be positive");
+  RFADE_EXPECTS(s.angle_spread_rad >= 0.0 &&
+                    s.angle_spread_rad <= 3.14159265358979324,
+                "SpatialScenario: Delta must be in [0, pi]");
+  RFADE_EXPECTS(std::abs(s.mean_angle_rad) <= 3.14159265358979324,
+                "SpatialScenario: |Phi| must be <= pi");
+  RFADE_EXPECTS(s.gaussian_power > 0.0,
+                "SpatialScenario: power must be positive");
+  RFADE_EXPECTS(s.max_series_terms >= 8,
+                "SpatialScenario: series needs >= 8 terms");
+}
+
+/// sin(a)/a with the a -> 0 limit.
+double sinc_ratio(double a) { return a == 0.0 ? 1.0 : std::sin(a) / a; }
+
+}  // namespace
+
+double spatial_rxx_normalized(const SpatialScenario& s, int separation) {
+  validate(s);
+  const double z = kTwoPi * s.spacing_wavelengths;
+  const double zd = z * static_cast<double>(separation);
+  double sum = special::bessel_j0(zd);
+  // Terms die out once the Bessel order 2m exceeds |zd|; require a few
+  // consecutive negligible terms before stopping.
+  int quiet = 0;
+  for (std::size_t m = 1; m <= s.max_series_terms; ++m) {
+    const double order_arg = 2.0 * static_cast<double>(m);
+    const double term = 2.0 *
+                        special::bessel_jn(static_cast<int>(2 * m), zd) *
+                        std::cos(order_arg * s.mean_angle_rad) *
+                        sinc_ratio(order_arg * s.angle_spread_rad);
+    sum += term;
+    if (std::abs(term) < s.series_tolerance) {
+      if (++quiet >= 3 && order_arg > std::abs(zd)) {
+        break;
+      }
+    } else {
+      quiet = 0;
+    }
+  }
+  return sum;
+}
+
+double spatial_rxy_normalized(const SpatialScenario& s, int separation) {
+  validate(s);
+  const double z = kTwoPi * s.spacing_wavelengths;
+  const double zd = z * static_cast<double>(separation);
+  double sum = 0.0;
+  int quiet = 0;
+  for (std::size_t m = 0; m <= s.max_series_terms; ++m) {
+    const double order_arg = 2.0 * static_cast<double>(m) + 1.0;
+    const double term = 2.0 *
+                        special::bessel_jn(static_cast<int>(2 * m + 1), zd) *
+                        std::sin(order_arg * s.mean_angle_rad) *
+                        sinc_ratio(order_arg * s.angle_spread_rad);
+    sum += term;
+    if (std::abs(term) < s.series_tolerance) {
+      if (++quiet >= 3 && order_arg > std::abs(zd)) {
+        break;
+      }
+    } else {
+      quiet = 0;
+    }
+  }
+  return sum;
+}
+
+core::CrossCovariance spatial_cross_covariance(const SpatialScenario& s,
+                                               std::size_t k, std::size_t j) {
+  validate(s);
+  RFADE_EXPECTS(k < s.antenna_count && j < s.antenna_count && k != j,
+                "spatial_cross_covariance: bad pair");
+  const int separation = static_cast<int>(k) - static_cast<int>(j);
+  const double half_power = 0.5 * s.gaussian_power;  // Eq. (7)
+  core::CrossCovariance c;
+  c.rxx = half_power * spatial_rxx_normalized(s, separation);
+  c.ryy = c.rxx;  // Eq. (5): Ryy~ = Rxx~
+  c.rxy = half_power * spatial_rxy_normalized(s, separation);
+  c.ryx = -c.rxy;  // Eq. (6): Ryx~ = -Rxy~
+  return c;
+}
+
+numeric::CMatrix spatial_covariance_matrix(const SpatialScenario& s) {
+  validate(s);
+  const std::size_t n = s.antenna_count;
+  core::CovarianceBuilder builder(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    builder.set_gaussian_power(j, s.gaussian_power);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = k + 1; j < n; ++j) {
+      builder.set_cross_covariance(k, j, spatial_cross_covariance(s, k, j));
+    }
+  }
+  return builder.build();
+}
+
+SpatialScenario paper_spatial_scenario() {
+  SpatialScenario s;
+  s.antenna_count = 3;
+  s.spacing_wavelengths = 1.0;                  // D / lambda = 1
+  s.angle_spread_rad = kTwoPi / 36.0;           // Delta = 10 degrees
+  s.mean_angle_rad = 0.0;                       // Phi = 0
+  s.gaussian_power = 1.0;
+  return s;
+}
+
+numeric::CMatrix paper_eq23_matrix() {
+  using numeric::cdouble;
+  return numeric::CMatrix::from_rows(
+      {{cdouble(1.0, 0.0), cdouble(0.8123, 0.0), cdouble(0.3730, 0.0)},
+       {cdouble(0.8123, 0.0), cdouble(1.0, 0.0), cdouble(0.8123, 0.0)},
+       {cdouble(0.3730, 0.0), cdouble(0.8123, 0.0), cdouble(1.0, 0.0)}});
+}
+
+}  // namespace rfade::channel

@@ -1,0 +1,96 @@
+#include "rfade/channel/spectral.hpp"
+
+#include <cmath>
+
+#include "rfade/special/bessel.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::channel {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+void validate(const SpectralScenario& s) {
+  const std::size_t n = s.size();
+  RFADE_EXPECTS(n >= 1, "SpectralScenario: need at least one carrier");
+  RFADE_EXPECTS(s.delay_s.rows() == n && s.delay_s.cols() == n,
+                "SpectralScenario: delay matrix must be N x N");
+  RFADE_EXPECTS(s.max_doppler_hz >= 0.0,
+                "SpectralScenario: Doppler must be non-negative");
+  RFADE_EXPECTS(s.rms_delay_spread_s >= 0.0,
+                "SpectralScenario: delay spread must be non-negative");
+  RFADE_EXPECTS(s.gaussian_power > 0.0,
+                "SpectralScenario: power must be positive");
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = k + 1; j < n; ++j) {
+      RFADE_EXPECTS(std::abs(s.delay_s(k, j) - s.delay_s(j, k)) <= 1e-15,
+                    "SpectralScenario: delay matrix must be symmetric");
+    }
+  }
+}
+
+}  // namespace
+
+core::CrossCovariance spectral_cross_covariance(const SpectralScenario& s,
+                                                std::size_t k,
+                                                std::size_t j) {
+  validate(s);
+  RFADE_EXPECTS(k < s.size() && j < s.size() && k != j,
+                "spectral_cross_covariance: bad pair");
+  const double tau = s.delay_s(k, j);
+  const double delta_omega = kTwoPi * (s.carrier_hz[k] - s.carrier_hz[j]);
+  const double spread_term = delta_omega * s.rms_delay_spread_s;
+
+  // Eq. (3): Rxx = sigma^2 J0(2 pi Fm tau) / (2 [1 + (dw sigma_tau)^2]).
+  const double rxx = s.gaussian_power *
+                     special::bessel_j0(kTwoPi * s.max_doppler_hz * tau) /
+                     (2.0 * (1.0 + spread_term * spread_term));
+
+  core::CrossCovariance c;
+  c.rxx = rxx;
+  c.ryy = rxx;              // Eq. (3): Ryy = Rxx
+  c.rxy = -spread_term * rxx;  // Eq. (4)
+  c.ryx = spread_term * rxx;   // Eq. (4): Ryx = -Rxy
+  return c;
+}
+
+numeric::CMatrix spectral_covariance_matrix(const SpectralScenario& s) {
+  validate(s);
+  const std::size_t n = s.size();
+  core::CovarianceBuilder builder(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    builder.set_gaussian_power(j, s.gaussian_power);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = k + 1; j < n; ++j) {
+      builder.set_cross_covariance(k, j, spectral_cross_covariance(s, k, j));
+    }
+  }
+  return builder.build();
+}
+
+SpectralScenario paper_spectral_scenario() {
+  SpectralScenario s;
+  // GSM-900-like carriers, 200 kHz apart, f1 > f2 > f3 (Sec. 6).
+  const double f1 = 900.0e6;
+  s.carrier_hz = {f1, f1 - 200.0e3, f1 - 400.0e3};
+  s.delay_s = numeric::RMatrix(3, 3, 0.0);
+  s.delay_s(0, 1) = s.delay_s(1, 0) = 1.0e-3;  // tau_12 = 1 ms
+  s.delay_s(1, 2) = s.delay_s(2, 1) = 3.0e-3;  // tau_23 = 3 ms
+  s.delay_s(0, 2) = s.delay_s(2, 0) = 4.0e-3;  // tau_13 = 4 ms
+  s.max_doppler_hz = 50.0;                     // Fm = 50 Hz (v = 60 km/h)
+  s.rms_delay_spread_s = 1.0e-6;               // sigma_tau = 1 us
+  s.gaussian_power = 1.0;
+  return s;
+}
+
+numeric::CMatrix paper_eq22_matrix() {
+  using numeric::cdouble;
+  return numeric::CMatrix::from_rows(
+      {{cdouble(1.0, 0.0), cdouble(0.3782, 0.4753), cdouble(0.0878, 0.2207)},
+       {cdouble(0.3782, -0.4753), cdouble(1.0, 0.0), cdouble(0.3063, 0.3849)},
+       {cdouble(0.0878, -0.2207), cdouble(0.3063, -0.3849), cdouble(1.0, 0.0)}});
+}
+
+}  // namespace rfade::channel

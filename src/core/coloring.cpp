@@ -1,0 +1,43 @@
+#include "rfade/core/coloring.hpp"
+
+#include <cmath>
+
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+ColoringResult compute_coloring(const numeric::CMatrix& k,
+                                const ColoringOptions& options) {
+  RFADE_EXPECTS(k.is_square(), "compute_coloring: matrix must be square");
+  RFADE_EXPECTS(numeric::is_hermitian(k, 1e-9),
+                "compute_coloring: matrix must be Hermitian");
+  const std::size_t n = k.rows();
+
+  ColoringResult result;
+  result.method = options.method;
+
+  if (options.method == ColoringMethod::Cholesky) {
+    result.matrix = numeric::cholesky(k);
+    result.effective_covariance = k;
+    return result;
+  }
+
+  // Paper steps 4-5: force PSD, then L = V sqrt(Lambda_hat).
+  result.psd = force_positive_semidefinite(k, options.psd);
+  const numeric::CMatrix& v = result.psd.eigenvectors;
+  numeric::CMatrix l(n, n, numeric::cdouble{});
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lambda = result.psd.adjusted_eigenvalues[j];
+    const double root = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      l(i, j) = v(i, j) * root;
+    }
+  }
+  result.matrix = std::move(l);
+  result.effective_covariance = result.psd.matrix;
+  return result;
+}
+
+}  // namespace rfade::core

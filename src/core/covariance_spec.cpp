@@ -1,0 +1,70 @@
+#include "rfade/core/covariance_spec.hpp"
+
+#include <cmath>
+
+#include "rfade/core/power.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+numeric::cdouble covariance_entry(const CrossCovariance& c) {
+  // Eq. (13): mu_kj = (Rxx + Ryy) - i (Rxy - Ryx).
+  return {c.rxx + c.ryy, -(c.rxy - c.ryx)};
+}
+
+CovarianceBuilder::CovarianceBuilder(std::size_t n)
+    : n_(n), k_(n, n, numeric::cdouble{}), power_set_(n, false) {
+  RFADE_EXPECTS(n >= 1, "CovarianceBuilder: need at least one envelope");
+}
+
+CovarianceBuilder& CovarianceBuilder::set_gaussian_power(std::size_t j,
+                                                         double power) {
+  RFADE_EXPECTS(j < n_, "CovarianceBuilder: index out of range");
+  RFADE_EXPECTS(power > 0.0, "CovarianceBuilder: power must be positive");
+  k_(j, j) = numeric::cdouble(power, 0.0);
+  power_set_[j] = true;
+  return *this;
+}
+
+CovarianceBuilder& CovarianceBuilder::set_envelope_power(std::size_t j,
+                                                         double power) {
+  return set_gaussian_power(j, gaussian_power_from_envelope_power(power));
+}
+
+CovarianceBuilder& CovarianceBuilder::set_cross_covariance(
+    std::size_t k, std::size_t j, const CrossCovariance& c) {
+  return set_cross_entry(k, j, covariance_entry(c));
+}
+
+CovarianceBuilder& CovarianceBuilder::set_cross_entry(std::size_t k,
+                                                      std::size_t j,
+                                                      numeric::cdouble mu) {
+  RFADE_EXPECTS(k < n_ && j < n_, "CovarianceBuilder: index out of range");
+  RFADE_EXPECTS(k != j, "CovarianceBuilder: use set_gaussian_power for k==j");
+  k_(k, j) = mu;
+  k_(j, k) = std::conj(mu);
+  return *this;
+}
+
+numeric::CMatrix CovarianceBuilder::build() const {
+  for (std::size_t j = 0; j < n_; ++j) {
+    RFADE_EXPECTS(power_set_[j],
+                  "CovarianceBuilder: power not set for some branch");
+  }
+  validate_covariance_matrix(k_);
+  return k_;
+}
+
+void validate_covariance_matrix(const numeric::CMatrix& k, double tol) {
+  RFADE_EXPECTS(k.is_square(), "covariance matrix must be square");
+  RFADE_EXPECTS(k.rows() >= 1, "covariance matrix must be non-empty");
+  RFADE_EXPECTS(numeric::is_hermitian(k, tol),
+                "covariance matrix must be Hermitian");
+  for (std::size_t j = 0; j < k.rows(); ++j) {
+    RFADE_EXPECTS(k(j, j).real() > 0.0,
+                  "covariance matrix must have positive diagonal");
+  }
+}
+
+}  // namespace rfade::core

@@ -1,0 +1,72 @@
+#include "rfade/core/envelope_correlation.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/special/hypergeometric.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+constexpr double kVarianceFactor = 1.0 - kPi / 4.0;
+
+double envelope_correlation_from_rho_squared(double rho_sq) {
+  const double f = special::hypergeometric_2f1(-0.5, -0.5, 1.0, rho_sq);
+  return (kPi / 4.0) * (f - 1.0) / kVarianceFactor;
+}
+}  // namespace
+
+double envelope_correlation_from_gaussian(numeric::cdouble mu_kj,
+                                          double power_k, double power_j) {
+  RFADE_EXPECTS(power_k > 0.0 && power_j > 0.0,
+                "envelope_correlation: powers must be positive");
+  const double rho_sq = std::norm(mu_kj) / (power_k * power_j);
+  RFADE_EXPECTS(rho_sq <= 1.0 + 1e-12,
+                "envelope_correlation: |mu| must be <= sqrt(p_k p_j)");
+  return envelope_correlation_from_rho_squared(std::min(rho_sq, 1.0));
+}
+
+numeric::RMatrix envelope_correlation_matrix(const numeric::CMatrix& k) {
+  validate_covariance_matrix(k);
+  const std::size_t n = k.rows();
+  numeric::RMatrix rho(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double value = envelope_correlation_from_gaussian(
+          k(i, j), k(i, i).real(), k(j, j).real());
+      rho(i, j) = value;
+      rho(j, i) = value;
+    }
+  }
+  return rho;
+}
+
+double gaussian_correlation_for_envelope_correlation(double rho_env) {
+  RFADE_EXPECTS(rho_env >= 0.0 && rho_env <= 1.0,
+                "inverse envelope correlation: rho_env must be in [0, 1]");
+  if (rho_env == 0.0) {
+    return 0.0;
+  }
+  if (rho_env >= 1.0) {
+    return 1.0;
+  }
+  // The forward map is strictly increasing in rho^2: plain bisection.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (envelope_correlation_from_rho_squared(mid * mid) < rho_env) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-14) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rfade::core

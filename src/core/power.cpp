@@ -1,0 +1,37 @@
+#include "rfade/core/power.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+double gaussian_power_from_envelope_power(double envelope_variance) {
+  RFADE_EXPECTS(envelope_variance > 0.0,
+                "gaussian_power_from_envelope_power: variance must be > 0");
+  return envelope_variance / kRayleighVarianceFactor;
+}
+
+double envelope_power_from_gaussian_power(double gaussian_power) {
+  RFADE_EXPECTS(gaussian_power > 0.0,
+                "envelope_power_from_gaussian_power: power must be > 0");
+  return gaussian_power * kRayleighVarianceFactor;
+}
+
+double envelope_mean_from_gaussian_power(double gaussian_power) {
+  RFADE_EXPECTS(gaussian_power > 0.0,
+                "envelope_mean_from_gaussian_power: power must be > 0");
+  return std::sqrt(gaussian_power) * std::sqrt(kPi) / 2.0;
+}
+
+double envelope_rms_from_gaussian_power(double gaussian_power) {
+  RFADE_EXPECTS(gaussian_power > 0.0,
+                "envelope_rms_from_gaussian_power: power must be > 0");
+  return std::sqrt(gaussian_power);
+}
+
+}  // namespace rfade::core

@@ -1,0 +1,83 @@
+#include "rfade/core/psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+PsdResult force_positive_semidefinite(const numeric::CMatrix& k,
+                                      const PsdOptions& options) {
+  RFADE_EXPECTS(k.is_square(), "force_psd: matrix must be square");
+  RFADE_EXPECTS(options.epsilon > 0.0, "force_psd: epsilon must be positive");
+  RFADE_EXPECTS(options.tolerance >= 0.0,
+                "force_psd: tolerance must be non-negative");
+
+  PsdResult result;
+  const numeric::HermitianEigen eig =
+      numeric::eigen_hermitian(k, options.eigen_method);
+  result.eigenvalues = eig.values;
+  result.eigenvectors = eig.vectors;
+
+  double max_abs_lambda = 0.0;
+  for (const double lambda : eig.values) {
+    max_abs_lambda = std::max(max_abs_lambda, std::abs(lambda));
+  }
+  const double negative_floor = -options.tolerance * max_abs_lambda;
+
+  result.adjusted_eigenvalues = eig.values;
+  result.was_psd = true;
+  for (double& lambda : result.adjusted_eigenvalues) {
+    switch (options.policy) {
+      case PsdPolicy::ClipToZero:
+        // Paper Sec. 4.2: lambda_hat = lambda if lambda >= 0 else 0.
+        if (lambda < 0.0) {
+          if (lambda < negative_floor) {
+            result.was_psd = false;
+          }
+          lambda = 0.0;
+        }
+        break;
+      case PsdPolicy::EpsilonReplace:
+        // Ref. [6]: lambda_hat = lambda if lambda > 0 else epsilon.
+        if (lambda <= 0.0) {
+          if (lambda < negative_floor) {
+            result.was_psd = false;
+          }
+          lambda = options.epsilon;
+        }
+        break;
+    }
+  }
+
+  if (result.was_psd &&
+      result.adjusted_eigenvalues == result.eigenvalues) {
+    // Nothing changed: keep K exactly (avoids reconstruction round-off).
+    result.matrix = k;
+    result.frobenius_distance = 0.0;
+    return result;
+  }
+
+  numeric::HermitianEigen adjusted;
+  adjusted.values = result.adjusted_eigenvalues;
+  adjusted.vectors = eig.vectors;
+  result.matrix = numeric::reconstruct(adjusted);
+  result.frobenius_distance =
+      numeric::frobenius_norm(numeric::subtract(result.matrix, k));
+  return result;
+}
+
+bool is_positive_semidefinite(const numeric::CMatrix& k, double tolerance) {
+  const numeric::HermitianEigen eig = numeric::eigen_hermitian(k);
+  double max_abs_lambda = 0.0;
+  for (const double lambda : eig.values) {
+    max_abs_lambda = std::max(max_abs_lambda, std::abs(lambda));
+  }
+  // Smallest eigenvalue first (ascending order).
+  return eig.values.empty() ||
+         eig.values.front() >= -tolerance * std::max(max_abs_lambda, 1.0);
+}
+
+}  // namespace rfade::core

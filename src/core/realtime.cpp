@@ -1,0 +1,65 @@
+#include "rfade/core/realtime.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
+                                     RealTimeOptions options)
+    : dim_(desired_covariance.rows()),
+      desired_(std::move(desired_covariance)),
+      branch_(options.idft_size, options.normalized_doppler,
+              options.input_variance_per_dim) {
+  validate_covariance_matrix(desired_);
+  coloring_ = compute_coloring(desired_, options.coloring);
+  // Proposed (Sec. 5 step 6): divide by the Eq. (19) post-filter variance.
+  // Flawed mode (ref. [6]): divide by the input complex variance
+  // 2 sigma_orig^2, as if the Doppler filter did not change the power.
+  assumed_variance_ =
+      options.variance_handling == VarianceHandling::AnalyticCorrection
+          ? branch_.output_variance()
+          : 2.0 * options.input_variance_per_dim;
+}
+
+numeric::CMatrix RealTimeGenerator::generate_block(random::Rng& rng) const {
+  const std::size_t m = branch_.block_size();
+  // Branch outputs u_j[0..M-1], one row per branch.
+  numeric::CMatrix branch_outputs(dim_, m);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const numeric::CVector u = branch_.generate_block(rng);
+    for (std::size_t l = 0; l < m; ++l) {
+      branch_outputs(j, l) = u[l];
+    }
+  }
+
+  // Color each time instant: Z_l = L W_l / sigma_g (steps 7-8).
+  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
+  const numeric::CMatrix& l_mat = coloring_.matrix;
+  numeric::CMatrix block(m, dim_, numeric::cdouble{});
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const numeric::cdouble w = branch_outputs(j, l) * inv_sigma;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        block(l, i) += l_mat(i, j) * w;
+      }
+    }
+  }
+  return block;
+}
+
+numeric::RMatrix RealTimeGenerator::generate_envelope_block(
+    random::Rng& rng) const {
+  const numeric::CMatrix block = generate_block(rng);
+  numeric::RMatrix envelopes(block.rows(), block.cols());
+  for (std::size_t l = 0; l < block.rows(); ++l) {
+    for (std::size_t j = 0; j < block.cols(); ++j) {
+      envelopes(l, j) = std::abs(block(l, j));
+    }
+  }
+  return envelopes;
+}
+
+}  // namespace rfade::core

@@ -1,0 +1,112 @@
+#include "rfade/core/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "rfade/core/power.hpp"
+#include "rfade/stats/covariance.hpp"
+#include "rfade/stats/distributions.hpp"
+#include "rfade/stats/ks_test.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/parallel.hpp"
+
+namespace rfade::core {
+
+namespace {
+
+/// Per-chunk accumulation state, merged deterministically in chunk order.
+struct ChunkState {
+  explicit ChunkState(std::size_t dim)
+      : covariance(dim), envelope_stats(dim), ks_reservoir(dim) {}
+
+  stats::CovarianceAccumulator covariance;
+  std::vector<stats::RunningStats> envelope_stats;
+  std::vector<numeric::RVector> ks_reservoir;
+};
+
+}  // namespace
+
+ValidationReport validate_generator(const EnvelopeGenerator& generator,
+                                    const ValidationOptions& options) {
+  const std::size_t n = generator.dimension();
+  const support::ChunkingOptions chunking{options.chunk_size,
+                                          !options.parallel};
+  const std::size_t chunks = support::chunk_count(options.samples, chunking);
+  const std::size_t ks_per_chunk =
+      chunks == 0 ? 0
+                  : (options.ks_samples_per_branch + chunks - 1) / chunks;
+
+  std::vector<ChunkState> states;
+  states.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    states.emplace_back(n);
+  }
+
+  const random::Rng root(options.seed);
+  support::parallel_for_chunked(
+      options.samples,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        random::Rng rng = root.fork_stream(chunk + 1);
+        ChunkState& state = states[chunk];
+        numeric::CVector z(n);
+        for (std::size_t t = begin; t < end; ++t) {
+          generator.sample_into(rng, z);
+          state.covariance.add(z);
+          const bool keep_for_ks = (t - begin) < ks_per_chunk;
+          for (std::size_t j = 0; j < n; ++j) {
+            const double r = std::abs(z[j]);
+            state.envelope_stats[j].add(r);
+            if (keep_for_ks) {
+              state.ks_reservoir[j].push_back(r);
+            }
+          }
+        }
+      },
+      chunking);
+
+  // Deterministic merge in chunk order.
+  ChunkState total(n);
+  for (const ChunkState& state : states) {
+    total.covariance.merge(state.covariance);
+    for (std::size_t j = 0; j < n; ++j) {
+      total.envelope_stats[j].merge(state.envelope_stats[j]);
+      total.ks_reservoir[j].insert(total.ks_reservoir[j].end(),
+                                   state.ks_reservoir[j].begin(),
+                                   state.ks_reservoir[j].end());
+    }
+  }
+
+  ValidationReport report;
+  report.samples = options.samples;
+  report.sample_covariance = total.covariance.covariance();
+  report.covariance_rel_error = stats::relative_frobenius_error(
+      report.sample_covariance, generator.effective_covariance());
+
+  report.envelope_mean_rel_error.resize(n);
+  report.envelope_variance_rel_error.resize(n);
+  report.ks_p_values.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double power = generator.effective_covariance()(j, j).real();
+    const double expected_mean = envelope_mean_from_gaussian_power(power);
+    const double expected_var = envelope_power_from_gaussian_power(power);
+    report.envelope_mean_rel_error[j] =
+        std::abs(total.envelope_stats[j].mean() - expected_mean) /
+        expected_mean;
+    report.envelope_variance_rel_error[j] =
+        std::abs(total.envelope_stats[j].variance() - expected_var) /
+        expected_var;
+    const stats::RayleighDistribution rayleigh =
+        stats::RayleighDistribution::from_gaussian_power(power);
+    const stats::KsResult ks = stats::ks_test(
+        total.ks_reservoir[j],
+        [&rayleigh](double r) { return rayleigh.cdf(r); });
+    report.ks_p_values[j] = ks.p_value;
+  }
+  report.worst_ks_p_value =
+      *std::min_element(report.ks_p_values.begin(), report.ks_p_values.end());
+  return report;
+}
+
+}  // namespace rfade::core

@@ -1,0 +1,44 @@
+#include "rfade/core/whitening.hpp"
+
+#include <cmath>
+
+#include "rfade/core/covariance_spec.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::core {
+
+WhiteningTransform::WhiteningTransform(const numeric::CMatrix& covariance,
+                                       const PsdOptions& options)
+    : dim_(covariance.rows()) {
+  validate_covariance_matrix(covariance);
+  const PsdResult psd = force_positive_semidefinite(covariance, options);
+
+  // Rank threshold relative to the largest eigenvalue.
+  double max_lambda = 0.0;
+  for (const double lambda : psd.adjusted_eigenvalues) {
+    max_lambda = std::max(max_lambda, lambda);
+  }
+  const double floor = 1e-12 * std::max(max_lambda, 1e-300);
+
+  // W = Lambda^{-1/2} V^H row by row; annihilated directions become zero.
+  w_ = numeric::CMatrix(dim_, dim_, numeric::cdouble{});
+  for (std::size_t row = 0; row < dim_; ++row) {
+    const double lambda = psd.adjusted_eigenvalues[row];
+    if (lambda <= floor) {
+      continue;  // pseudo-inverse: zero row
+    }
+    ++rank_;
+    const double inv_root = 1.0 / std::sqrt(lambda);
+    for (std::size_t col = 0; col < dim_; ++col) {
+      w_(row, col) = inv_root * std::conj(psd.eigenvectors(col, row));
+    }
+  }
+}
+
+numeric::CVector WhiteningTransform::whiten(const numeric::CVector& z) const {
+  RFADE_EXPECTS(z.size() == dim_, "whiten: dimension mismatch");
+  return numeric::multiply(w_, z);
+}
+
+}  // namespace rfade::core

@@ -1,0 +1,94 @@
+#include "rfade/doppler/filter.hpp"
+
+#include <cmath>
+
+#include "rfade/fft/fft.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::doppler {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+DopplerFilterDesign young_beaulieu_filter(std::size_t m, double fm) {
+  RFADE_EXPECTS(m >= 8, "young_beaulieu_filter: M must be >= 8");
+  RFADE_EXPECTS(fm > 0.0 && fm < 0.5,
+                "young_beaulieu_filter: fm must lie in (0, 0.5)");
+  const double fm_m = fm * static_cast<double>(m);
+  const auto km = static_cast<std::size_t>(std::floor(fm_m));
+  RFADE_EXPECTS(km >= 1, "young_beaulieu_filter: fm*M must be >= 1");
+  RFADE_EXPECTS(2 * km + 1 < m,
+                "young_beaulieu_filter: passband must fit below Nyquist");
+
+  DopplerFilterDesign design;
+  design.coefficients.assign(m, 0.0);
+  design.normalized_doppler = fm;
+  design.km = km;
+
+  // Eq. (21), in-band samples of the Jakes spectrum: k = 1 .. km-1.
+  for (std::size_t k = 1; k < km; ++k) {
+    const double ratio = static_cast<double>(k) / fm_m;
+    design.coefficients[k] =
+        std::sqrt(1.0 / (2.0 * std::sqrt(1.0 - ratio * ratio)));
+  }
+
+  // Eq. (21), band-edge area-matching coefficient at k = km.
+  const double km_d = static_cast<double>(km);
+  const double edge =
+      std::sqrt(km_d / 2.0 *
+                (kPi / 2.0 -
+                 std::atan((km_d - 1.0) / std::sqrt(2.0 * km_d - 1.0))));
+  design.coefficients[km] = edge;
+
+  // Eq. (21), mirrored negative-frequency half: F[M-k] = F[k].
+  design.coefficients[m - km] = edge;
+  for (std::size_t k = m - km + 1; k < m; ++k) {
+    const double ratio = static_cast<double>(m - k) / fm_m;
+    design.coefficients[k] =
+        std::sqrt(1.0 / (2.0 * std::sqrt(1.0 - ratio * ratio)));
+  }
+  return design;
+}
+
+double post_filter_variance(const DopplerFilterDesign& design,
+                            double input_variance_per_dim) {
+  RFADE_EXPECTS(input_variance_per_dim > 0.0,
+                "post_filter_variance: input variance must be positive");
+  double sum_f2 = 0.0;
+  for (const double f : design.coefficients) {
+    sum_f2 += f * f;
+  }
+  const double m = static_cast<double>(design.size());
+  return 2.0 * input_variance_per_dim / (m * m) * sum_f2;  // Eq. (19)
+}
+
+numeric::RVector theoretical_autocorrelation(const DopplerFilterDesign& design,
+                                             std::size_t max_lag) {
+  RFADE_EXPECTS(max_lag < design.size(),
+                "theoretical_autocorrelation: lag exceeds IDFT size");
+  numeric::CVector f2(design.size());
+  for (std::size_t k = 0; k < design.size(); ++k) {
+    f2[k] = numeric::cdouble(design.coefficients[k] * design.coefficients[k],
+                             0.0);
+  }
+  const numeric::CVector g = fft::idft(f2);  // Eq. (17)
+  numeric::RVector out(max_lag + 1);
+  for (std::size_t d = 0; d <= max_lag; ++d) {
+    out[d] = g[d].real();
+  }
+  return out;
+}
+
+numeric::RVector theoretical_normalized_autocorrelation(
+    const DopplerFilterDesign& design, std::size_t max_lag) {
+  numeric::RVector g = theoretical_autocorrelation(design, max_lag);
+  RFADE_EXPECTS(g[0] > 0.0, "normalized autocorrelation: zero g[0]");
+  const double g0 = g[0];
+  for (double& value : g) {
+    value /= g0;
+  }
+  return g;
+}
+
+}  // namespace rfade::doppler

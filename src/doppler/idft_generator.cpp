@@ -1,0 +1,47 @@
+#include "rfade/doppler/idft_generator.hpp"
+
+#include <cmath>
+
+#include "rfade/fft/fft.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::doppler {
+
+IdftRayleighBranch::IdftRayleighBranch(std::size_t m, double fm,
+                                       double input_variance_per_dim)
+    : design_(young_beaulieu_filter(m, fm)),
+      input_variance_per_dim_(input_variance_per_dim),
+      output_variance_(post_filter_variance(design_, input_variance_per_dim)) {
+  RFADE_EXPECTS(input_variance_per_dim > 0.0,
+                "IdftRayleighBranch: input variance must be positive");
+}
+
+numeric::CVector IdftRayleighBranch::generate_block(random::Rng& rng) const {
+  const std::size_t m = design_.size();
+  const double sigma_orig = std::sqrt(input_variance_per_dim_);
+  numeric::CVector spectrum(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    // U[k] = F[k] (A[k] - i B[k]); skip the zero-weight bins entirely.
+    const double f = design_.coefficients[k];
+    if (f == 0.0) {
+      spectrum[k] = numeric::cdouble{};
+      continue;
+    }
+    const double a = rng.gaussian(0.0, sigma_orig);
+    const double b = rng.gaussian(0.0, sigma_orig);
+    spectrum[k] = numeric::cdouble(f * a, -f * b);
+  }
+  return fft::idft(spectrum);  // u[l] = (1/M) sum_k U[k] e^{i 2 pi k l / M}
+}
+
+numeric::RVector IdftRayleighBranch::generate_envelope_block(
+    random::Rng& rng) const {
+  const numeric::CVector block = generate_block(rng);
+  numeric::RVector envelope(block.size());
+  for (std::size_t l = 0; l < block.size(); ++l) {
+    envelope[l] = std::abs(block[l]);
+  }
+  return envelope;
+}
+
+}  // namespace rfade::doppler

@@ -1,0 +1,152 @@
+#include "rfade/fft/fft.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::fft {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Bit-reversal permutation for a power-of-two length.
+void bit_reverse(CVector& data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Bluestein's chirp-z FFT for arbitrary length.
+CVector bluestein(const CVector& data, Direction direction) {
+  const std::size_t n = data.size();
+  const double sign = direction == Direction::Forward ? -1.0 : 1.0;
+
+  // Chirp w[j] = exp(sign * i * pi * j^2 / n); j^2 is reduced mod 2n to
+  // keep the phase argument small and accurate.
+  CVector chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const unsigned long long j2 =
+        (static_cast<unsigned long long>(j) * j) % (2ull * n);
+    const double phase = sign * kPi * static_cast<double>(j2) / static_cast<double>(n);
+    chirp[j] = std::polar(1.0, phase);
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  CVector a(m, cdouble{});
+  CVector b(m, cdouble{});
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = data[j] * chirp[j];
+    const cdouble inv = std::conj(chirp[j]);
+    b[j] = inv;
+    if (j != 0) {
+      b[m - j] = inv;  // symmetric tail for the circular convolution
+    }
+  }
+
+  fft_pow2_inplace(a, Direction::Forward);
+  fft_pow2_inplace(b, Direction::Forward);
+  for (std::size_t j = 0; j < m; ++j) {
+    a[j] *= b[j];
+  }
+  fft_pow2_inplace(a, Direction::Inverse);
+
+  CVector result(n);
+  const double scale = 1.0 / static_cast<double>(m);  // undo unnormalised IFFT
+  for (std::size_t j = 0; j < n; ++j) {
+    result[j] = a[j] * scale * chirp[j];
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_pow2_inplace(CVector& data, Direction direction) {
+  const std::size_t n = data.size();
+  RFADE_EXPECTS(is_power_of_two(n), "fft_pow2_inplace: size must be 2^k");
+  if (n == 1) {
+    return;
+  }
+  bit_reverse(data);
+  const double sign = direction == Direction::Forward ? -1.0 : 1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const cdouble w_len = std::polar(1.0, angle);
+    for (std::size_t start = 0; start < n; start += len) {
+      cdouble w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        // Periodically resynchronise the twiddle to bound error growth.
+        if ((k & 63u) == 0u && k != 0u) {
+          w = std::polar(1.0, angle * static_cast<double>(k));
+        }
+        const cdouble even = data[start + k];
+        const cdouble odd = data[start + k + len / 2] * w;
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+}
+
+CVector transform(const CVector& data, Direction direction) {
+  if (data.empty()) {
+    return {};
+  }
+  if (is_power_of_two(data.size())) {
+    CVector copy = data;
+    fft_pow2_inplace(copy, direction);
+    return copy;
+  }
+  return bluestein(data, direction);
+}
+
+CVector dft(const CVector& data) { return transform(data, Direction::Forward); }
+
+CVector idft(const CVector& data) {
+  CVector result = transform(data, Direction::Inverse);
+  const double scale = result.empty() ? 1.0 : 1.0 / static_cast<double>(result.size());
+  for (cdouble& value : result) {
+    value *= scale;
+  }
+  return result;
+}
+
+CVector naive_dft(const CVector& data, Direction direction) {
+  const std::size_t n = data.size();
+  const double sign = direction == Direction::Forward ? -1.0 : 1.0;
+  CVector result(n, cdouble{});
+  for (std::size_t k = 0; k < n; ++k) {
+    cdouble acc{};
+    for (std::size_t l = 0; l < n; ++l) {
+      const double phase = sign * 2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(l) / static_cast<double>(n);
+      acc += data[l] * std::polar(1.0, phase);
+    }
+    result[k] = acc;
+  }
+  return result;
+}
+
+}  // namespace rfade::fft

@@ -1,0 +1,76 @@
+#include "rfade/numeric/cholesky.hpp"
+
+#include <cmath>
+
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::numeric {
+
+CMatrix cholesky(const CMatrix& k, double tolerance) {
+  RFADE_EXPECTS(k.is_square(), "cholesky: matrix must be square");
+  RFADE_EXPECTS(is_hermitian(k, 1e-10), "cholesky: matrix must be Hermitian");
+  RFADE_EXPECTS(tolerance >= 0.0, "cholesky: tolerance must be non-negative");
+  const std::size_t n = k.rows();
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::abs(k(i, i).real()));
+  }
+  // A strictly positive floor mirrors the behaviour of practical chol
+  // implementations, which reject pivots indistinguishable from zero.
+  const double floor = std::max(tolerance, 1e-14) * std::max(max_diag, 1e-300);
+
+  CMatrix l(n, n, cdouble{});
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = k(j, j).real();
+    for (std::size_t m = 0; m < j; ++m) {
+      sum -= std::norm(l(j, m));
+    }
+    if (!(sum > floor)) {
+      throw NotPositiveDefiniteError(
+          "cholesky: non-positive pivot at column " + std::to_string(j) +
+          " (value " + std::to_string(sum) + ")");
+    }
+    const double ljj = std::sqrt(sum);
+    l(j, j) = cdouble(ljj, 0.0);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cdouble acc = k(i, j);
+      for (std::size_t m = 0; m < j; ++m) {
+        acc -= l(i, m) * std::conj(l(j, m));
+      }
+      l(i, j) = acc / ljj;
+    }
+  }
+  return l;
+}
+
+bool is_positive_definite(const CMatrix& k, double tolerance) {
+  try {
+    (void)cholesky(k, tolerance);
+    return true;
+  } catch (const NotPositiveDefiniteError&) {
+    return false;
+  }
+}
+
+CVector solve_lower_triangular(const CMatrix& l, const CVector& b) {
+  RFADE_EXPECTS(l.is_square(), "solve_lower_triangular: matrix must be square");
+  RFADE_EXPECTS(l.rows() == b.size(),
+                "solve_lower_triangular: dimension mismatch");
+  const std::size_t n = l.rows();
+  CVector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cdouble acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      acc -= l(i, j) * y[j];
+    }
+    if (std::abs(l(i, i)) == 0.0) {
+      throw ValueError("solve_lower_triangular: zero diagonal entry");
+    }
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+}  // namespace rfade::numeric

@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::numeric {
+
+namespace {
+
+/// Sum of squared magnitudes of the strictly-upper off-diagonal entries.
+double off_diagonal_mass(const CMatrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      sum += std::norm(a(i, j));
+    }
+  }
+  return sum;
+}
+
+/// Sort eigenpairs ascending by eigenvalue, permuting vector columns.
+void sort_eigenpairs(HermitianEigen& eig) {
+  const std::size_t n = eig.values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&eig](std::size_t a, std::size_t b) {
+    return eig.values[a] < eig.values[b];
+  });
+  RVector sorted_values(n);
+  CMatrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = eig.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = eig.vectors(i, order[j]);
+    }
+  }
+  eig.values = std::move(sorted_values);
+  eig.vectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+HermitianEigen eigen_hermitian_jacobi(const CMatrix& input,
+                                      const EigenOptions& options) {
+  RFADE_EXPECTS(input.is_square(), "eigen: matrix must be square");
+  RFADE_EXPECTS(is_hermitian(input, 1e-10), "eigen: matrix must be Hermitian");
+  const std::size_t n = input.rows();
+
+  HermitianEigen eig;
+  eig.values.assign(n, 0.0);
+  eig.vectors = CMatrix::identity(n);
+  if (n == 0) {
+    return eig;
+  }
+
+  CMatrix a = hermitian_part(input);  // symmetrise away representation noise
+  CMatrix& v = eig.vectors;
+
+  const double norm_a = frobenius_norm(a);
+  const double target = options.tolerance * std::max(norm_a, 1e-300);
+
+  for (int sweep = 0; sweep < options.max_iterations; ++sweep) {
+    if (std::sqrt(off_diagonal_mass(a)) <= target) {
+      break;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cdouble beta = a(p, q);
+        const double abs_beta = std::abs(beta);
+        const double alpha = a(p, p).real();
+        const double gamma = a(q, q).real();
+        // Skip rotations that cannot change the matrix in double precision.
+        if (abs_beta <= 1e-300 ||
+            abs_beta <= 1e-18 * (std::abs(alpha) + std::abs(gamma))) {
+          a(p, q) = cdouble{};
+          a(q, p) = cdouble{};
+          continue;
+        }
+
+        // Phase that makes the pivot real, then a classical real Jacobi
+        // rotation.  The combined unitary is
+        //   J[p,p]=c, J[p,q]=s, J[q,p]=-conj(s), J[q,q]=c,
+        // with c real and s = sigma * beta/|beta|.
+        const cdouble phase = beta / abs_beta;
+        const double tau = (gamma - alpha) / (2.0 * abs_beta);
+        const double t =
+            (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double sigma = t * c;
+        const cdouble s = sigma * phase;
+
+        // Diagonal update (exact formulas; trace is preserved).
+        a(p, p) = cdouble(c * c * alpha + sigma * sigma * gamma -
+                              2.0 * c * sigma * abs_beta,
+                          0.0);
+        a(q, q) = cdouble(sigma * sigma * alpha + c * c * gamma +
+                              2.0 * c * sigma * abs_beta,
+                          0.0);
+        a(p, q) = cdouble{};
+        a(q, p) = cdouble{};
+
+        // Rows/columns k != p,q.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) {
+            continue;
+          }
+          const cdouble akp = a(k, p);
+          const cdouble akq = a(k, q);
+          const cdouble new_kp = c * akp - std::conj(s) * akq;
+          const cdouble new_kq = s * akp + c * akq;
+          a(k, p) = new_kp;
+          a(p, k) = std::conj(new_kp);
+          a(k, q) = new_kq;
+          a(q, k) = std::conj(new_kq);
+        }
+
+        // Accumulate eigenvectors: V <- V * J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const cdouble vkp = v(k, p);
+          const cdouble vkq = v(k, q);
+          v(k, p) = c * vkp - std::conj(s) * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  if (std::sqrt(off_diagonal_mass(a)) > target) {
+    throw ConvergenceError("eigen_hermitian_jacobi: no convergence after " +
+                           std::to_string(options.max_iterations) + " sweeps");
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    eig.values[i] = a(i, i).real();
+  }
+  sort_eigenpairs(eig);
+  return eig;
+}
+
+HermitianEigen eigen_hermitian(const CMatrix& a, EigenMethod method,
+                               const EigenOptions& options) {
+  switch (method) {
+    case EigenMethod::Jacobi:
+      return eigen_hermitian_jacobi(a, options);
+    case EigenMethod::TridiagonalQL:
+      return eigen_hermitian_ql(a, options);
+  }
+  throw ValueError("eigen_hermitian: unknown method");
+}
+
+CMatrix reconstruct(const HermitianEigen& eig) {
+  const std::size_t n = eig.values.size();
+  RFADE_EXPECTS(eig.vectors.rows() == n && eig.vectors.cols() == n,
+                "reconstruct: inconsistent eigen result");
+  CMatrix k(n, n, cdouble{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cdouble acc{};
+      for (std::size_t m = 0; m < n; ++m) {
+        acc += eig.vectors(i, m) * eig.values[m] * std::conj(eig.vectors(j, m));
+      }
+      k(i, j) = acc;
+    }
+  }
+  return k;
+}
+
+}  // namespace rfade::numeric

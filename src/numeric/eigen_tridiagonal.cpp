@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::numeric {
+
+namespace {
+
+/// Implicit-shift QL iteration on a real symmetric tridiagonal matrix.
+///
+/// \param d    diagonal, overwritten with eigenvalues (unsorted).
+/// \param e    subdiagonal e[i] = T(i+1, i); e[n-1] is workspace.
+/// \param z    rotation accumulator (identity on entry); on exit its
+///             columns are the tridiagonal eigenvectors.
+/// \param max_iterations per-eigenvalue iteration budget.
+void tql2(std::vector<double>& d, std::vector<double>& e, RMatrix& z,
+          int max_iterations) {
+  const int n = static_cast<int>(d.size());
+  if (n <= 1) {
+    return;
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m = 0;
+    do {
+      // Look for a single negligible subdiagonal element to split the matrix.
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == max_iterations) {
+          throw ConvergenceError(
+              "eigen_hermitian_ql: QL iteration budget exhausted");
+        }
+        // Wilkinson-style shift from the 2x2 block at l.
+        double g = (d[static_cast<std::size_t>(l + 1)] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i = m - 1;
+        bool underflow = false;
+        for (; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            // Recover from underflow: deflate and restart this eigenvalue.
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          // Accumulate the plane rotation into z (columns i, i+1).
+          for (int k = 0; k < n; ++k) {
+            f = z(static_cast<std::size_t>(k), static_cast<std::size_t>(i + 1));
+            z(static_cast<std::size_t>(k), static_cast<std::size_t>(i + 1)) =
+                s * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) +
+                c * f;
+            z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) =
+                c * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) -
+                s * f;
+          }
+        }
+        if (underflow && i >= l) {
+          continue;
+        }
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+HermitianEigen eigen_hermitian_ql(const CMatrix& input,
+                                  const EigenOptions& options) {
+  RFADE_EXPECTS(input.is_square(), "eigen: matrix must be square");
+  RFADE_EXPECTS(is_hermitian(input, 1e-10), "eigen: matrix must be Hermitian");
+  const std::size_t n = input.rows();
+
+  HermitianEigen eig;
+  eig.values.assign(n, 0.0);
+  eig.vectors = CMatrix::identity(n);
+  if (n == 0) {
+    return eig;
+  }
+  if (n == 1) {
+    eig.values[0] = input(0, 0).real();
+    return eig;
+  }
+
+  CMatrix a = hermitian_part(input);
+  CMatrix p_acc = CMatrix::identity(n);  // product of Householder reflectors
+
+  // --- Householder reduction to complex tridiagonal form -------------------
+  CVector v(n);  // reflector workspace
+  CVector w(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    const std::size_t m = n - k - 1;  // size of the trailing column
+    double col_norm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      col_norm2 += std::norm(a(i, k));
+    }
+    const double r = std::sqrt(col_norm2);
+    if (r == 0.0) {
+      continue;  // column already reduced
+    }
+    const cdouble x0 = a(k + 1, k);
+    const double abs_x0 = std::abs(x0);
+    const cdouble phase = abs_x0 > 0.0 ? x0 / abs_x0 : cdouble(1.0, 0.0);
+    const cdouble alpha = -phase * r;
+
+    // v = x - alpha*e1; ||v||^2 = 2 r (r + |x0|), always > 0 here.
+    v[0] = x0 - alpha;
+    for (std::size_t i = 1; i < m; ++i) {
+      v[i] = a(k + 1 + i, k);
+    }
+    const double vnorm2 = 2.0 * r * (r + abs_x0);
+    const double beta = 2.0 / vnorm2;
+
+    // Two-sided update of the trailing block B = A[k+1.., k+1..]:
+    //   B <- B - v w^H - w v^H,  w = p - (beta/2)(v^H p) v,  p = beta B v.
+    for (std::size_t i = 0; i < m; ++i) {
+      cdouble acc{};
+      for (std::size_t j = 0; j < m; ++j) {
+        acc += a(k + 1 + i, k + 1 + j) * v[j];
+      }
+      w[i] = beta * acc;
+    }
+    cdouble vhp{};
+    for (std::size_t i = 0; i < m; ++i) {
+      vhp += std::conj(v[i]) * w[i];
+    }
+    const cdouble kappa = 0.5 * beta * vhp;
+    for (std::size_t i = 0; i < m; ++i) {
+      w[i] -= kappa * v[i];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        a(k + 1 + i, k + 1 + j) -=
+            v[i] * std::conj(w[j]) + w[i] * std::conj(v[j]);
+      }
+    }
+
+    // Column/row k of the tridiagonal form.
+    a(k + 1, k) = alpha;
+    a(k, k + 1) = std::conj(alpha);
+    for (std::size_t i = k + 2; i < n; ++i) {
+      a(i, k) = cdouble{};
+      a(k, i) = cdouble{};
+    }
+
+    // Accumulate P <- P * H with H = I - beta v v^H on indices k+1..n-1.
+    for (std::size_t row = 0; row < n; ++row) {
+      cdouble t{};
+      for (std::size_t j = 0; j < m; ++j) {
+        t += p_acc(row, k + 1 + j) * v[j];
+      }
+      t *= beta;
+      for (std::size_t j = 0; j < m; ++j) {
+        p_acc(row, k + 1 + j) -= t * std::conj(v[j]);
+      }
+    }
+  }
+
+  // --- Phase similarity: make the subdiagonal real and non-negative --------
+  std::vector<double> d(n), e(n, 0.0);
+  CVector phases(n, cdouble(1.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = a(i, i).real();
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const cdouble sub = a(i + 1, i);
+    const double mag = std::abs(sub);
+    e[i] = mag;
+    phases[i + 1] = mag > 0.0 ? phases[i] * (sub / mag) : phases[i];
+  }
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t col = 0; col < n; ++col) {
+      p_acc(row, col) *= phases[col];
+    }
+  }
+
+  // --- QL on the real tridiagonal matrix -----------------------------------
+  RMatrix z = RMatrix::identity(n);
+  tql2(d, e, z, options.max_iterations);
+
+  // --- Sort ascending and back-transform the eigenvectors ------------------
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+
+  for (std::size_t j = 0; j < n; ++j) {
+    eig.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble acc{};
+      for (std::size_t m2 = 0; m2 < n; ++m2) {
+        acc += p_acc(i, m2) * z(m2, order[j]);
+      }
+      eig.vectors(i, j) = acc;
+    }
+  }
+  return eig;
+}
+
+}  // namespace rfade::numeric

@@ -1,0 +1,268 @@
+#include "rfade/numeric/matrix_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfade::numeric {
+
+namespace {
+
+template <typename T>
+Matrix<T> multiply_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  RFADE_EXPECTS(a.cols() == b.rows(), "multiply: inner dimensions differ");
+  Matrix<T> c(a.rows(), b.cols(), T{});
+  // i-k-j loop order: streams through b row-wise, friendly to row-major data.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) {
+        continue;
+      }
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+template <typename T>
+std::vector<T> matvec_impl(const Matrix<T>& a, const std::vector<T>& x) {
+  RFADE_EXPECTS(a.cols() == x.size(), "multiply: vector length mismatch");
+  std::vector<T> y(a.rows(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T acc{};
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc += a(i, j) * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+template <typename T>
+double frobenius_impl(const Matrix<T>& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sum += std::norm(cdouble(a(i, j)));
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+CMatrix to_complex(const RMatrix& a) {
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(i, j) = cdouble(a(i, j), 0.0);
+    }
+  }
+  return c;
+}
+
+RMatrix real_part(const CMatrix& a) {
+  RMatrix r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      r(i, j) = a(i, j).real();
+    }
+  }
+  return r;
+}
+
+RMatrix imag_part(const CMatrix& a) {
+  RMatrix r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      r(i, j) = a(i, j).imag();
+    }
+  }
+  return r;
+}
+
+CMatrix diag(const CVector& d) {
+  CMatrix m(d.size(), d.size(), cdouble{});
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    m(i, i) = d[i];
+  }
+  return m;
+}
+
+CMatrix diag(const RVector& d) {
+  CMatrix m(d.size(), d.size(), cdouble{});
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    m(i, i) = cdouble(d[i], 0.0);
+  }
+  return m;
+}
+
+CVector diagonal(const CMatrix& a) {
+  RFADE_EXPECTS(a.is_square(), "diagonal: matrix must be square");
+  CVector d(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    d[i] = a(i, i);
+  }
+  return d;
+}
+
+CMatrix multiply(const CMatrix& a, const CMatrix& b) {
+  return multiply_impl(a, b);
+}
+RMatrix multiply(const RMatrix& a, const RMatrix& b) {
+  return multiply_impl(a, b);
+}
+CVector multiply(const CMatrix& a, const CVector& x) {
+  return matvec_impl(a, x);
+}
+RVector multiply(const RMatrix& a, const RVector& x) {
+  return matvec_impl(a, x);
+}
+
+CMatrix add(const CMatrix& a, const CMatrix& b) {
+  RFADE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
+                "add: shape mismatch");
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(i, j) = a(i, j) + b(i, j);
+    }
+  }
+  return c;
+}
+
+CMatrix subtract(const CMatrix& a, const CMatrix& b) {
+  RFADE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
+                "subtract: shape mismatch");
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(i, j) = a(i, j) - b(i, j);
+    }
+  }
+  return c;
+}
+
+CMatrix scale(const CMatrix& a, cdouble alpha) {
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(i, j) = alpha * a(i, j);
+    }
+  }
+  return c;
+}
+
+CMatrix conjugate_transpose(const CMatrix& a) {
+  CMatrix c(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(j, i) = std::conj(a(i, j));
+    }
+  }
+  return c;
+}
+
+RMatrix transpose(const RMatrix& a) {
+  RMatrix c(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c(j, i) = a(i, j);
+    }
+  }
+  return c;
+}
+
+CMatrix gram(const CMatrix& l) {
+  CMatrix g(l.rows(), l.rows(), cdouble{});
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      cdouble acc{};
+      for (std::size_t k = 0; k < l.cols(); ++k) {
+        acc += l(i, k) * std::conj(l(j, k));
+      }
+      g(i, j) = acc;
+      g(j, i) = std::conj(acc);
+    }
+  }
+  return g;
+}
+
+cdouble trace(const CMatrix& a) {
+  RFADE_EXPECTS(a.is_square(), "trace: matrix must be square");
+  cdouble t{};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    t += a(i, i);
+  }
+  return t;
+}
+
+double frobenius_norm(const CMatrix& a) { return frobenius_impl(a); }
+double frobenius_norm(const RMatrix& a) { return frobenius_impl(a); }
+
+double max_abs(const CMatrix& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  RFADE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
+                "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+double max_abs_diff(const RMatrix& a, const RMatrix& b) {
+  RFADE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
+                "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+bool is_hermitian(const CMatrix& a, double tol) {
+  if (!a.is_square()) {
+    return false;
+  }
+  const double scale_ref = std::max(1.0, max_abs(a));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (std::abs(a(i, i).imag()) > tol * scale_ref) {
+      return false;
+    }
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - std::conj(a(j, i))) > tol * scale_ref) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CMatrix hermitian_part(const CMatrix& a) {
+  RFADE_EXPECTS(a.is_square(), "hermitian_part: matrix must be square");
+  CMatrix h(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+    }
+  }
+  return h;
+}
+
+}  // namespace rfade::numeric

@@ -1,0 +1,89 @@
+#include <cmath>
+
+#include "rfade/random/philox.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/random/xoshiro.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::random {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::unique_ptr<RandomEngine> make_engine(EngineKind kind, std::uint64_t seed,
+                                          std::uint64_t stream) {
+  if (kind == EngineKind::Xoshiro) {
+    return std::make_unique<XoshiroEngine>(seed, stream);
+  }
+  return std::make_unique<PhiloxEngine>(seed, stream);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : Rng(EngineKind::Philox, seed, stream) {}
+
+Rng::Rng(EngineKind kind, std::uint64_t seed, std::uint64_t stream,
+         GaussianAlgorithm algorithm)
+    : engine_(make_engine(kind, seed, stream)), algorithm_(algorithm) {}
+
+Rng::Rng(std::unique_ptr<RandomEngine> engine, GaussianAlgorithm algorithm)
+    : engine_(std::move(engine)), algorithm_(algorithm) {}
+
+double Rng::uniform01() { return to_unit_double(engine_->next_u64()); }
+
+std::uint64_t Rng::next_u64() { return engine_->next_u64(); }
+
+double Rng::gaussian() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  if (algorithm_ == GaussianAlgorithm::BoxMuller) {
+    // u in (0,1] to keep log finite; v in [0,1).
+    const double u = 1.0 - uniform01();
+    const double v = uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u));
+    const double angle = kTwoPi * v;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+  }
+  // Marsaglia polar method.
+  for (;;) {
+    const double x = 2.0 * uniform01() - 1.0;
+    const double y = 2.0 * uniform01() - 1.0;
+    const double s = x * x + y * y;
+    if (s >= 1.0 || s == 0.0) {
+      continue;
+    }
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = y * factor;
+    has_cached_normal_ = true;
+    return x * factor;
+  }
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  RFADE_EXPECTS(stddev >= 0.0, "gaussian: stddev must be non-negative");
+  return mean + stddev * gaussian();
+}
+
+std::complex<double> Rng::complex_gaussian(double variance) {
+  RFADE_EXPECTS(variance >= 0.0, "complex_gaussian: variance must be >= 0");
+  const double per_dimension_sigma = std::sqrt(0.5 * variance);
+  // Draw both parts explicitly (not via the cache) so the real/imaginary
+  // pairing is stable across GaussianAlgorithm choices.
+  const double re = gaussian(0.0, per_dimension_sigma);
+  const double im = gaussian(0.0, per_dimension_sigma);
+  return {re, im};
+}
+
+Rng Rng::fork_stream(std::uint64_t stream_id) const {
+  return Rng(engine_->fork_stream(stream_id), algorithm_);
+}
+
+const char* Rng::engine_name() const { return engine_->name(); }
+
+}  // namespace rfade::random

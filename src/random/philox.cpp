@@ -1,0 +1,78 @@
+#include "rfade/random/philox.hpp"
+
+namespace rfade::random {
+
+namespace {
+
+constexpr std::uint32_t kMult0 = 0xD2511F53u;
+constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void single_round(std::array<std::uint32_t, 4>& ctr,
+                         const std::array<std::uint32_t, 2>& key) {
+  const std::uint64_t product0 =
+      static_cast<std::uint64_t>(kMult0) * ctr[0];
+  const std::uint64_t product1 =
+      static_cast<std::uint64_t>(kMult1) * ctr[2];
+  const auto hi0 = static_cast<std::uint32_t>(product0 >> 32);
+  const auto lo0 = static_cast<std::uint32_t>(product0);
+  const auto hi1 = static_cast<std::uint32_t>(product1 >> 32);
+  const auto lo1 = static_cast<std::uint32_t>(product1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> PhiloxEngine::block(
+    std::array<std::uint32_t, 2> key, std::array<std::uint32_t, 4> counter) {
+  for (int round = 0; round < 10; ++round) {
+    if (round > 0) {
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    single_round(counter, key);
+  }
+  return counter;
+}
+
+PhiloxEngine::PhiloxEngine(std::uint64_t seed, std::uint64_t stream) {
+  key_ = {static_cast<std::uint32_t>(seed),
+          static_cast<std::uint32_t>(seed >> 32)};
+  stream_words_ = {static_cast<std::uint32_t>(stream),
+                   static_cast<std::uint32_t>(stream >> 32)};
+}
+
+void PhiloxEngine::refill() {
+  const std::array<std::uint32_t, 4> counter = {
+      static_cast<std::uint32_t>(block_index_),
+      static_cast<std::uint32_t>(block_index_ >> 32), stream_words_[0],
+      stream_words_[1]};
+  buffer_ = block(key_, counter);
+  ++block_index_;
+  buffer_pos_ = 0;
+}
+
+std::uint64_t PhiloxEngine::next_u64() {
+  if (buffer_pos_ + 2 > 4) {
+    refill();
+  }
+  const std::uint64_t lo = buffer_[buffer_pos_];
+  const std::uint64_t hi = buffer_[buffer_pos_ + 1];
+  buffer_pos_ += 2;
+  return (hi << 32) | lo;
+}
+
+std::unique_ptr<RandomEngine> PhiloxEngine::fork_stream(
+    std::uint64_t stream_id) const {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(key_[1]) << 32) | key_[0];
+  return std::make_unique<PhiloxEngine>(seed, stream_id);
+}
+
+void PhiloxEngine::seek(std::uint64_t block_index) {
+  block_index_ = block_index;
+  buffer_pos_ = 4;  // force refill
+}
+
+}  // namespace rfade::random

@@ -1,0 +1,48 @@
+#include "rfade/random/xoshiro.hpp"
+
+namespace rfade::random {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+XoshiroEngine::XoshiroEngine(std::uint64_t seed, std::uint64_t stream)
+    : seed_(seed) {
+  // Mix the stream id into the seed, then expand through SplitMix64 so the
+  // four state words are never all-zero and decorrelated from the raw seed.
+  std::uint64_t sm = seed ^ (stream * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL);
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t XoshiroEngine::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::unique_ptr<RandomEngine> XoshiroEngine::fork_stream(
+    std::uint64_t stream_id) const {
+  return std::make_unique<XoshiroEngine>(seed_, stream_id);
+}
+
+}  // namespace rfade::random

@@ -1,0 +1,148 @@
+#include "rfade/special/bessel.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "rfade/support/error.hpp"
+
+namespace rfade::special {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+/// Below this |x| the power series is used for J0/J1; above it the Hankel
+/// asymptotic expansion.  At the crossover both are accurate to ~1e-11.
+constexpr double kSeriesLimit = 12.0;
+
+/// Power series J_nu(x) = (x/2)^nu sum_k (-1)^k (x^2/4)^k / (k! (k+nu)!)
+/// for nu in {0,1}; converges for any x, used only below kSeriesLimit where
+/// cancellation stays under ~1e-11 absolute.
+double series_j01(int nu, double x) {
+  const double q = 0.25 * x * x;
+  double term = nu == 0 ? 1.0 : 0.5 * x;
+  double sum = term;
+  for (int k = 1; k < 80; ++k) {
+    term *= -q / (static_cast<double>(k) * (k + nu));
+    sum += term;
+    if (std::abs(term) < 1e-17 * (std::abs(sum) + 1e-300)) {
+      break;
+    }
+  }
+  return sum;
+}
+
+/// Hankel asymptotic expansion for J_nu, nu in {0,1}, x > kSeriesLimit:
+///   J_nu(x) ~ sqrt(2/(pi x)) [ P cos(chi) - Q sin(chi) ],
+///   chi = x - nu*pi/2 - pi/4,
+/// P and Q summed to the smallest term (optimal truncation).
+double asymptotic_j01(int nu, double x) {
+  const double mu = 4.0 * nu * nu;
+  double term = 1.0;
+  double p_sum = 1.0;
+  double q_sum = 0.0;
+  double last = 1.0;
+  for (int k = 1; k < 40; ++k) {
+    const double odd = 2.0 * k - 1.0;
+    term *= (mu - odd * odd) / (static_cast<double>(k) * 8.0 * x);
+    if (std::abs(term) >= std::abs(last)) {
+      break;  // asymptotic series started diverging: stop at optimal point
+    }
+    last = term;
+    const int phase = k / 2;  // pairs of terms alternate sign
+    const double signed_term = (phase % 2 == 0) ? term : -term;
+    if (k % 2 == 1) {
+      q_sum += signed_term;
+    } else {
+      p_sum += signed_term;
+    }
+    if (std::abs(term) < 1e-17) {
+      break;
+    }
+  }
+  const double chi = x - 0.5 * nu * kPi - 0.25 * kPi;
+  return std::sqrt(2.0 / (kPi * x)) *
+         (p_sum * std::cos(chi) - q_sum * std::sin(chi));
+}
+
+}  // namespace
+
+double bessel_j0(double x) {
+  const double ax = std::abs(x);
+  return ax <= kSeriesLimit ? series_j01(0, ax) : asymptotic_j01(0, ax);
+}
+
+double bessel_j1(double x) {
+  const double ax = std::abs(x);
+  const double value =
+      ax <= kSeriesLimit ? series_j01(1, ax) : asymptotic_j01(1, ax);
+  return x < 0.0 ? -value : value;
+}
+
+double bessel_jn(int n, double x) {
+  // Reflection identities: J_{-n}(x) = (-1)^n J_n(x); J_n(-x) = (-1)^n J_n(x).
+  bool negate = false;
+  if (n < 0) {
+    n = -n;
+    negate ^= (n & 1) != 0;
+  }
+  if (x < 0.0) {
+    x = -x;
+    negate ^= (n & 1) != 0;
+  }
+  double value = 0.0;
+  if (n == 0) {
+    value = bessel_j0(x);
+  } else if (n == 1) {
+    value = bessel_j1(x);
+  } else if (x == 0.0) {
+    value = 0.0;
+  } else if (static_cast<double>(n) < x) {
+    // Upward recurrence J_{j+1} = (2j/x) J_j - J_{j-1}: stable for n < x.
+    const double two_over_x = 2.0 / x;
+    double jm = bessel_j0(x);
+    double jc = bessel_j1(x);
+    for (int j = 1; j < n; ++j) {
+      const double jp = j * two_over_x * jc - jm;
+      jm = jc;
+      jc = jp;
+    }
+    value = jc;
+  } else {
+    // Miller's algorithm: downward recurrence from a start order well above
+    // n, normalised by the identity J_0 + 2 (J_2 + J_4 + ...) = 1.
+    constexpr double kAccuracy = 160.0;  // extra orders for double precision
+    constexpr double kRescaleAt = 1e150;
+    constexpr double kRescaleBy = 1e-150;
+    const int start =
+        2 * ((n + static_cast<int>(std::sqrt(kAccuracy * n))) / 2);
+    const double two_over_x = 2.0 / x;
+    double jp = 0.0;
+    double jc = 1.0;
+    double even_sum = 0.0;
+    double answer = 0.0;
+    bool accumulate = false;
+    for (int j = start; j > 0; --j) {
+      const double jm = j * two_over_x * jc - jp;
+      jp = jc;
+      jc = jm;
+      if (std::abs(jc) > kRescaleAt) {
+        jc *= kRescaleBy;
+        jp *= kRescaleBy;
+        even_sum *= kRescaleBy;
+        answer *= kRescaleBy;
+      }
+      if (accumulate) {
+        even_sum += jc;
+      }
+      accumulate = !accumulate;
+      if (j == n) {
+        answer = jp;
+      }
+    }
+    const double norm = 2.0 * even_sum - jc;  // = J_0 + 2*sum of even orders
+    value = answer / norm;
+  }
+  return negate ? -value : value;
+}
+
+}  // namespace rfade::special

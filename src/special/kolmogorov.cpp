@@ -1,0 +1,37 @@
+#include "rfade/special/kolmogorov.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::special {
+
+double kolmogorov_survival(double lambda) {
+  if (lambda <= 0.0) {
+    return 1.0;
+  }
+  // The alternating series converges extremely fast for lambda > ~0.3;
+  // below that the value is 1 to double precision anyway.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 101; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-18) {
+      break;
+    }
+  }
+  const double q = 2.0 * sum;
+  return q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+}
+
+double kolmogorov_p_value(double d, double n) {
+  RFADE_EXPECTS(d >= 0.0, "kolmogorov_p_value: statistic must be non-negative");
+  RFADE_EXPECTS(n > 0.0, "kolmogorov_p_value: sample count must be positive");
+  const double sqrt_n = std::sqrt(n);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return kolmogorov_survival(lambda);
+}
+
+}  // namespace rfade::special

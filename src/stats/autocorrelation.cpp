@@ -1,0 +1,79 @@
+#include "rfade/stats/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "rfade/fft/fft.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+namespace {
+
+double weight(std::size_t n, std::size_t lag, AutocorrMode mode) {
+  return mode == AutocorrMode::Biased
+             ? static_cast<double>(n)
+             : static_cast<double>(n - lag);
+}
+
+}  // namespace
+
+numeric::CVector autocorrelation(const numeric::CVector& x,
+                                 std::size_t max_lag, AutocorrMode mode) {
+  const std::size_t n = x.size();
+  RFADE_EXPECTS(n > 0, "autocorrelation: empty input");
+  RFADE_EXPECTS(max_lag < n, "autocorrelation: max_lag must be < n");
+
+  // Zero-pad to at least 2n so the circular convolution is linear.
+  std::size_t padded = 1;
+  while (padded < 2 * n) {
+    padded <<= 1;
+  }
+  numeric::CVector work(padded, numeric::cdouble{});
+  for (std::size_t i = 0; i < n; ++i) {
+    work[i] = x[i];
+  }
+  fft::fft_pow2_inplace(work, fft::Direction::Forward);
+  for (auto& value : work) {
+    value = numeric::cdouble(std::norm(value), 0.0);
+  }
+  fft::fft_pow2_inplace(work, fft::Direction::Inverse);
+
+  numeric::CVector r(max_lag + 1);
+  const double inv_padded = 1.0 / static_cast<double>(padded);
+  for (std::size_t d = 0; d <= max_lag; ++d) {
+    r[d] = work[d] * inv_padded / weight(n, d, mode);
+  }
+  return r;
+}
+
+numeric::RVector normalized_autocorrelation(const numeric::CVector& x,
+                                            std::size_t max_lag,
+                                            AutocorrMode mode) {
+  const numeric::CVector r = autocorrelation(x, max_lag, mode);
+  const double r0 = r[0].real();
+  RFADE_EXPECTS(r0 > 0.0, "normalized_autocorrelation: zero power input");
+  numeric::RVector rho(r.size());
+  for (std::size_t d = 0; d < r.size(); ++d) {
+    rho[d] = r[d].real() / r0;
+  }
+  return rho;
+}
+
+numeric::CVector autocorrelation_direct(const numeric::CVector& x,
+                                        std::size_t max_lag,
+                                        AutocorrMode mode) {
+  const std::size_t n = x.size();
+  RFADE_EXPECTS(n > 0, "autocorrelation_direct: empty input");
+  RFADE_EXPECTS(max_lag < n, "autocorrelation_direct: max_lag must be < n");
+  numeric::CVector r(max_lag + 1, numeric::cdouble{});
+  for (std::size_t d = 0; d <= max_lag; ++d) {
+    numeric::cdouble acc{};
+    for (std::size_t l = 0; l + d < n; ++l) {
+      acc += x[l + d] * std::conj(x[l]);
+    }
+    r[d] = acc / weight(n, d, mode);
+  }
+  return r;
+}
+
+}  // namespace rfade::stats

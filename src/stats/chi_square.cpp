@@ -1,0 +1,48 @@
+#include "rfade/stats/chi_square.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rfade/special/gamma.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+ChiSquareResult chi_square_gof(const numeric::RVector& samples,
+                               const std::function<double(double)>& quantile,
+                               std::size_t bins) {
+  RFADE_EXPECTS(bins >= 2, "chi_square_gof: need at least 2 bins");
+  RFADE_EXPECTS(samples.size() >= 5 * bins,
+                "chi_square_gof: need >= 5 samples per bin");
+
+  // Equal-probability bin edges from the analytic quantile function.
+  std::vector<double> edges(bins - 1);
+  for (std::size_t b = 1; b < bins; ++b) {
+    edges[b - 1] =
+        quantile(static_cast<double>(b) / static_cast<double>(bins));
+  }
+
+  std::vector<std::size_t> counts(bins, 0);
+  for (const double x : samples) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    ++counts[static_cast<std::size_t>(it - edges.begin())];
+  }
+
+  const double expected =
+      static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double statistic = 0.0;
+  for (const std::size_t observed : counts) {
+    const double delta = static_cast<double>(observed) - expected;
+    statistic += delta * delta / expected;
+  }
+
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.bins = bins;
+  result.dof = bins - 1;
+  result.p_value =
+      special::chi_square_survival(statistic, static_cast<double>(result.dof));
+  return result;
+}
+
+}  // namespace rfade::stats

@@ -1,0 +1,79 @@
+#include "rfade/stats/covariance.hpp"
+
+#include <cmath>
+
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+CovarianceAccumulator::CovarianceAccumulator(std::size_t dimension)
+    : dim_(dimension),
+      outer_sum_(dimension, dimension, numeric::cdouble{}),
+      vector_sum_(dimension, numeric::cdouble{}) {
+  RFADE_EXPECTS(dimension > 0, "CovarianceAccumulator: dimension must be > 0");
+}
+
+void CovarianceAccumulator::add(std::span<const numeric::cdouble> z) {
+  RFADE_EXPECTS(z.size() == dim_, "CovarianceAccumulator: length mismatch");
+  for (std::size_t i = 0; i < dim_; ++i) {
+    vector_sum_[i] += z[i];
+    for (std::size_t j = 0; j <= i; ++j) {
+      outer_sum_(i, j) += z[i] * std::conj(z[j]);
+    }
+  }
+  ++count_;
+}
+
+void CovarianceAccumulator::merge(const CovarianceAccumulator& other) {
+  RFADE_EXPECTS(other.dim_ == dim_, "CovarianceAccumulator: dim mismatch");
+  for (std::size_t i = 0; i < dim_; ++i) {
+    vector_sum_[i] += other.vector_sum_[i];
+    for (std::size_t j = 0; j <= i; ++j) {
+      outer_sum_(i, j) += other.outer_sum_(i, j);
+    }
+  }
+  count_ += other.count_;
+}
+
+numeric::CMatrix CovarianceAccumulator::covariance() const {
+  RFADE_EXPECTS(count_ > 0, "CovarianceAccumulator: no samples");
+  numeric::CMatrix k(dim_, dim_);
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      k(i, j) = outer_sum_(i, j) * inv_n;
+      k(j, i) = std::conj(k(i, j));
+    }
+  }
+  return k;
+}
+
+numeric::CMatrix CovarianceAccumulator::covariance_centered() const {
+  numeric::CMatrix k = covariance();
+  const numeric::CVector mu = mean();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      k(i, j) -= mu[i] * std::conj(mu[j]);
+    }
+  }
+  return k;
+}
+
+numeric::CVector CovarianceAccumulator::mean() const {
+  RFADE_EXPECTS(count_ > 0, "CovarianceAccumulator: no samples");
+  numeric::CVector mu(dim_);
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    mu[i] = vector_sum_[i] * inv_n;
+  }
+  return mu;
+}
+
+double relative_frobenius_error(const numeric::CMatrix& a,
+                                const numeric::CMatrix& b) {
+  const double denom = std::max(numeric::frobenius_norm(b), 1e-300);
+  return numeric::frobenius_norm(numeric::subtract(a, b)) / denom;
+}
+
+}  // namespace rfade::stats

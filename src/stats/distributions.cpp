@@ -1,0 +1,64 @@
+#include "rfade/stats/distributions.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+RayleighDistribution::RayleighDistribution(double sigma) : sigma_(sigma) {
+  RFADE_EXPECTS(sigma > 0.0, "RayleighDistribution: sigma must be positive");
+}
+
+RayleighDistribution RayleighDistribution::from_gaussian_power(
+    double sigma_g_squared) {
+  RFADE_EXPECTS(sigma_g_squared > 0.0,
+                "RayleighDistribution: power must be positive");
+  return RayleighDistribution(std::sqrt(0.5 * sigma_g_squared));
+}
+
+double RayleighDistribution::pdf(double r) const {
+  if (r < 0.0) {
+    return 0.0;
+  }
+  const double s2 = sigma_ * sigma_;
+  return r / s2 * std::exp(-0.5 * r * r / s2);
+}
+
+double RayleighDistribution::cdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(-0.5 * r * r / (sigma_ * sigma_));
+}
+
+double RayleighDistribution::quantile(double p) const {
+  RFADE_EXPECTS(p >= 0.0 && p < 1.0, "Rayleigh quantile: p must be in [0,1)");
+  return sigma_ * std::sqrt(-2.0 * std::log(1.0 - p));
+}
+
+double RayleighDistribution::mean() const {
+  return sigma_ * std::sqrt(0.5 * kPi);
+}
+
+double RayleighDistribution::variance() const {
+  return (2.0 - 0.5 * kPi) * sigma_ * sigma_;
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_cdf(double x, double mean, double stddev) {
+  RFADE_EXPECTS(stddev > 0.0, "normal_cdf: stddev must be positive");
+  return normal_cdf((x - mean) / stddev);
+}
+
+double exponential_cdf(double x, double rate) {
+  RFADE_EXPECTS(rate > 0.0, "exponential_cdf: rate must be positive");
+  return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * x);
+}
+
+}  // namespace rfade::stats

@@ -1,0 +1,65 @@
+#include "rfade/stats/fading_metrics.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+FadingMetrics measure_fading_metrics(const numeric::RVector& envelope,
+                                     double threshold,
+                                     double sample_rate_hz) {
+  RFADE_EXPECTS(envelope.size() >= 2, "fading metrics: need >= 2 samples");
+  RFADE_EXPECTS(sample_rate_hz > 0.0, "fading metrics: sample rate must be > 0");
+  RFADE_EXPECTS(threshold > 0.0, "fading metrics: threshold must be > 0");
+
+  std::size_t crossings = 0;
+  std::size_t samples_below = 0;
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    if (envelope[i] < threshold) {
+      ++samples_below;
+    }
+    if (i > 0 && envelope[i - 1] < threshold && envelope[i] >= threshold) {
+      ++crossings;
+    }
+  }
+
+  const double duration =
+      static_cast<double>(envelope.size()) / sample_rate_hz;
+  FadingMetrics metrics;
+  metrics.crossings = crossings;
+  metrics.level_crossing_rate = static_cast<double>(crossings) / duration;
+  metrics.average_fade_duration =
+      crossings == 0 ? 0.0
+                     : static_cast<double>(samples_below) /
+                           (sample_rate_hz * static_cast<double>(crossings));
+  return metrics;
+}
+
+double theoretical_lcr(double rho, double max_doppler_hz) {
+  RFADE_EXPECTS(rho > 0.0, "theoretical_lcr: rho must be positive");
+  RFADE_EXPECTS(max_doppler_hz > 0.0, "theoretical_lcr: f_D must be positive");
+  return std::sqrt(2.0 * kPi) * max_doppler_hz * rho * std::exp(-rho * rho);
+}
+
+double theoretical_afd(double rho, double max_doppler_hz) {
+  RFADE_EXPECTS(rho > 0.0, "theoretical_afd: rho must be positive");
+  RFADE_EXPECTS(max_doppler_hz > 0.0, "theoretical_afd: f_D must be positive");
+  return (std::exp(rho * rho) - 1.0) /
+         (rho * max_doppler_hz * std::sqrt(2.0 * kPi));
+}
+
+double rms(const numeric::RVector& envelope) {
+  RFADE_EXPECTS(!envelope.empty(), "rms: empty envelope");
+  double sum = 0.0;
+  for (const double r : envelope) {
+    sum += r * r;
+  }
+  return std::sqrt(sum / static_cast<double>(envelope.size()));
+}
+
+}  // namespace rfade::stats

@@ -1,0 +1,49 @@
+#include "rfade/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  RFADE_EXPECTS(hi > lo, "Histogram: hi must exceed lo");
+  RFADE_EXPECTS(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double offset = (x - lo_) / width_;
+  const auto last = static_cast<double>(counts_.size() - 1);
+  const double clamped = std::clamp(std::floor(offset), 0.0, last);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  ++total_;
+}
+
+void Histogram::add_all(const numeric::RVector& xs) {
+  for (const double x : xs) {
+    add(x);
+  }
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RFADE_EXPECTS(bin < counts_.size(), "Histogram: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::center(std::size_t bin) const {
+  RFADE_EXPECTS(bin < counts_.size(), "Histogram: bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  RFADE_EXPECTS(bin < counts_.size(), "Histogram: bin out of range");
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+}  // namespace rfade::stats

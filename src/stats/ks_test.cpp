@@ -1,0 +1,50 @@
+#include "rfade/stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfade/special/kolmogorov.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+KsResult ks_test(numeric::RVector samples,
+                 const std::function<double(double)>& cdf) {
+  RFADE_EXPECTS(!samples.empty(), "ks_test: empty sample");
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double ecdf_before = static_cast<double>(i) / n;
+    const double ecdf_after = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - ecdf_before), std::abs(ecdf_after - f)));
+  }
+  KsResult result;
+  result.statistic = d;
+  result.p_value = special::kolmogorov_p_value(d, n);
+  result.n = samples.size();
+  return result;
+}
+
+double ks_two_sample_statistic(numeric::RVector a, numeric::RVector b) {
+  RFADE_EXPECTS(!a.empty() && !b.empty(), "ks_two_sample: empty sample");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] <= b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+}  // namespace rfade::stats

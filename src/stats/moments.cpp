@@ -1,0 +1,105 @@
+#include "rfade/stats/moments.hpp"
+
+#include <cmath>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::stats {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 1 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  RunningStats acc;
+  for (const double x : xs) {
+    acc.add(x);
+  }
+  return acc.mean();
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats acc;
+  for (const double x : xs) {
+    acc.add(x);
+  }
+  return acc.variance();
+}
+
+double mean_power(std::span<const numeric::cdouble> zs) {
+  if (zs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const numeric::cdouble& z : zs) {
+    sum += std::norm(z);
+  }
+  return sum / static_cast<double>(zs.size());
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  RFADE_EXPECTS(!sorted.empty(), "quantile_sorted: empty data");
+  RFADE_EXPECTS(p >= 0.0 && p <= 1.0, "quantile_sorted: p must be in [0,1]");
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double position = p * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  RFADE_EXPECTS(a.size() == b.size(), "pearson_correlation: length mismatch");
+  RFADE_EXPECTS(a.size() >= 2, "pearson_correlation: need >= 2 points");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom == 0.0 ? 0.0 : sab / denom;
+}
+
+}  // namespace rfade::stats

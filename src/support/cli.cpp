@@ -1,0 +1,70 @@
+#include "rfade/support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "rfade/support/error.hpp"
+
+namespace rfade::support {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw Error("ArgParser: unexpected positional argument '" + token + "'");
+    }
+    token.erase(0, 2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument(it->second);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw ValueError("ArgParser: option --" + name + " expects a number, got '" +
+                     it->second + "'");
+  }
+}
+
+std::size_t ArgParser::get_size(const std::string& name,
+                                std::size_t fallback) const {
+  const double value = get_double(name, static_cast<double>(fallback));
+  if (value < 0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
+    throw ValueError("ArgParser: option --" + name +
+                     " expects a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace rfade::support

@@ -1,0 +1,52 @@
+#include "rfade/support/csv.hpp"
+
+#include <sstream>
+
+#include "rfade/support/error.hpp"
+
+namespace rfade::support {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw Error("CsvWriter: cannot open '" + path + "' for writing");
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double value : cells) {
+    formatted.push_back(format(value));
+  }
+  write_row(formatted);
+}
+
+std::string CsvWriter::format(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string CsvWriter::format(std::complex<double> value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value.real();
+  if (value.imag() >= 0) {
+    os << '+';
+  }
+  os << value.imag() << 'i';
+  return os.str();
+}
+
+}  // namespace rfade::support

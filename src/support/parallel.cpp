@@ -1,0 +1,53 @@
+#include "rfade/support/parallel.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "rfade/support/contracts.hpp"
+#include "rfade/support/thread_pool.hpp"
+
+namespace rfade::support {
+
+std::size_t chunk_count(std::size_t n, const ChunkingOptions& options) {
+  RFADE_EXPECTS(options.chunk_size > 0, "chunk_size must be positive");
+  return (n + options.chunk_size - 1) / options.chunk_size;
+}
+
+void parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const ChunkingOptions& options) {
+  RFADE_EXPECTS(options.chunk_size > 0, "chunk_size must be positive");
+  if (n == 0) {
+    return;
+  }
+  const std::size_t chunks = chunk_count(n, options);
+  if (options.serial || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * options.chunk_size;
+      const std::size_t end = std::min(n, begin + options.chunk_size);
+      body(begin, end, c);
+    }
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * options.chunk_size;
+    const std::size_t end = std::min(n, begin + options.chunk_size);
+    pending.push_back(ThreadPool::global().submit(
+        [&body, begin, end, c] { body(begin, end, c); }));
+  }
+  // Wait for everything, then surface the first failure (if any).  Waiting
+  // first guarantees no task still references caller-owned state when the
+  // exception propagates.
+  for (auto& f : pending) {
+    f.wait();
+  }
+  for (auto& f : pending) {
+    f.get();
+  }
+}
+
+}  // namespace rfade::support

@@ -1,0 +1,77 @@
+#include "rfade/support/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace rfade::support {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::set_header(const std::vector<std::string>& header) {
+  header_ = header;
+}
+
+void TablePrinter::add_row(const std::vector<std::string>& row) {
+  rows_.push_back(row);
+}
+
+std::string TablePrinter::str() const {
+  // Column widths: max over header and all rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.size());
+  }
+  std::vector<std::size_t> width(columns, 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&os, &width, columns](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      os << "  " << cell << std::string(width[i] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (const std::size_t w : width) {
+      rule += w + 2;
+    }
+    os << "  " << std::string(rule > 2 ? rule - 2 : 0, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << str() << std::flush; }
+
+std::string fixed(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string scientific(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace rfade::support

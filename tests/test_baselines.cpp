@@ -1,0 +1,314 @@
+// Tests for the conventional baseline generators [1]-[6] and the
+// sum-of-sinusoids reference model: each must work inside its documented
+// scope and fail exactly the way the paper says it fails outside it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/baselines/beaulieu_merani.hpp"
+#include "rfade/baselines/ertel_reed.hpp"
+#include "rfade/baselines/natarajan.hpp"
+#include "rfade/baselines/salz_winters.hpp"
+#include "rfade/baselines/sorooshyari_daut.hpp"
+#include "rfade/baselines/sum_of_sinusoids.hpp"
+#include "rfade/channel/spectral.hpp"
+#include "rfade/core/psd.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/special/bessel.hpp"
+#include "rfade/stats/autocorrelation.hpp"
+#include "rfade/stats/covariance.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+/// Sample covariance of `n` draws from any generator with .sample(rng).
+template <typename Generator>
+CMatrix measure_covariance(const Generator& gen, std::size_t dim,
+                           std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  stats::CovarianceAccumulator acc(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(gen.sample(rng));
+  }
+  return acc.covariance();
+}
+
+CMatrix non_psd_equal_power_matrix() {
+  CMatrix k = CMatrix::identity(3);
+  k(0, 1) = k(1, 0) = cdouble(0.9, 0.0);
+  k(1, 2) = k(2, 1) = cdouble(0.9, 0.0);
+  k(0, 2) = k(2, 0) = cdouble(-0.5, 0.0);  // inconsistent triangle
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Salz-Winters [1]
+// ---------------------------------------------------------------------------
+
+TEST(SalzWinters, CompositeCovarianceStructure) {
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const auto c = baselines::composite_real_covariance(k);
+  ASSERT_EQ(c.rows(), 6u);
+  // A block = Re(K)/2, twice on the diagonal.
+  EXPECT_NEAR(c(0, 1), 0.5 * k(0, 1).real(), 1e-14);
+  EXPECT_NEAR(c(3, 4), 0.5 * k(0, 1).real(), 1e-14);
+  // B block = -Im(K)/2 and antisymmetric.
+  EXPECT_NEAR(c(0, 4), -0.5 * k(0, 1).imag(), 1e-14);
+  EXPECT_NEAR(c(4, 0), c(0, 4), 1e-14);  // symmetric overall
+  // The composite is a valid symmetric matrix.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(c(i, j), c(j, i), 1e-14);
+    }
+  }
+}
+
+TEST(SalzWinters, AchievesComplexCovarianceForEqualPowers) {
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const baselines::SalzWintersGenerator gen(k);
+  const CMatrix measured = measure_covariance(gen, 3, 150000, 51);
+  EXPECT_LT(stats::relative_frobenius_error(measured, k), 0.02);
+}
+
+TEST(SalzWinters, RejectsUnequalPowers) {
+  CMatrix k = CMatrix::identity(2);
+  k(1, 1) = cdouble(2.0, 0.0);
+  EXPECT_THROW((void)baselines::SalzWintersGenerator{k}, ValueError);
+}
+
+TEST(SalzWinters, FailsOnNonPsdMatrix) {
+  EXPECT_THROW((void)baselines::SalzWintersGenerator{non_psd_equal_power_matrix()},
+               NotPositiveDefiniteError);
+}
+
+// ---------------------------------------------------------------------------
+// Ertel-Reed [2]
+// ---------------------------------------------------------------------------
+
+TEST(ErtelReed, AchievesComplexCorrelation) {
+  const double power = 2.0;
+  const cdouble rho(0.4, 0.35);
+  const baselines::ErtelReedGenerator gen(power, rho);
+  const CMatrix measured = [&] {
+    random::Rng rng(52);
+    stats::CovarianceAccumulator acc(2);
+    for (int i = 0; i < 200000; ++i) {
+      acc.add(gen.sample(rng));
+    }
+    return acc.covariance();
+  }();
+  EXPECT_NEAR(measured(0, 0).real(), power, 0.03);
+  EXPECT_NEAR(measured(1, 1).real(), power, 0.03);
+  // E[z_0 conj(z_1)] = power * rho.
+  EXPECT_NEAR(std::abs(measured(0, 1) - power * rho), 0.0, 0.04);
+}
+
+TEST(ErtelReed, MatrixConstructorMatchesScalarOne) {
+  CMatrix k = CMatrix::identity(2);
+  k(0, 1) = cdouble(0.6, -0.2);
+  k(1, 0) = std::conj(k(0, 1));
+  const baselines::ErtelReedGenerator gen(k);
+  EXPECT_DOUBLE_EQ(gen.power(), 1.0);
+  EXPECT_EQ(gen.rho(), cdouble(0.6, -0.2));
+}
+
+TEST(ErtelReed, ScopeRestrictions) {
+  EXPECT_THROW((void)baselines::ErtelReedGenerator(1.0, cdouble(1.2, 0.0)),
+               ValueError);  // |rho| > 1
+  EXPECT_THROW((void)baselines::ErtelReedGenerator(-1.0, cdouble(0.2, 0.0)),
+               ValueError);  // bad power
+  EXPECT_THROW((void)baselines::ErtelReedGenerator{CMatrix::identity(3)},
+               ValueError);  // N != 2
+  CMatrix unequal = CMatrix::identity(2);
+  unequal(1, 1) = cdouble(3.0, 0.0);
+  EXPECT_THROW((void)baselines::ErtelReedGenerator{unequal}, ValueError);
+}
+
+TEST(ErtelReed, FullCorrelationEdgeCase) {
+  const baselines::ErtelReedGenerator gen(1.0, cdouble(1.0, 0.0));
+  random::Rng rng(53);
+  for (int i = 0; i < 50; ++i) {
+    const auto z = gen.sample(rng);
+    EXPECT_NEAR(std::abs(z[0] - z[1]), 0.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Beaulieu-Merani [3]/[4]
+// ---------------------------------------------------------------------------
+
+TEST(BeaulieuMerani, WorksOnPositiveDefiniteEqualPowerMatrix) {
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const baselines::BeaulieuMeraniGenerator gen(k);
+  EXPECT_EQ(gen.dimension(), 3u);
+  const CMatrix measured = measure_covariance(gen, 3, 150000, 54);
+  EXPECT_LT(stats::relative_frobenius_error(measured, k), 0.02);
+  // Coloring is genuinely lower triangular (Cholesky).
+  EXPECT_EQ(gen.coloring_matrix()(0, 2), cdouble{});
+}
+
+TEST(BeaulieuMerani, FailsOnNonPositiveDefinite) {
+  EXPECT_THROW((void)
+      baselines::BeaulieuMeraniGenerator{non_psd_equal_power_matrix()},
+      NotPositiveDefiniteError);
+  // Rank-deficient (PSD but singular) also fails — eigen-coloring's edge.
+  CMatrix rank1(2, 2, cdouble(1.0, 0.0));
+  EXPECT_THROW((void)baselines::BeaulieuMeraniGenerator{rank1},
+               NotPositiveDefiniteError);
+}
+
+TEST(BeaulieuMerani, RejectsUnequalPowers) {
+  CMatrix k = CMatrix::identity(2);
+  k(1, 1) = cdouble(4.0, 0.0);
+  EXPECT_THROW((void)baselines::BeaulieuMeraniGenerator{k}, ValueError);
+}
+
+// ---------------------------------------------------------------------------
+// Natarajan et al. [5]
+// ---------------------------------------------------------------------------
+
+TEST(Natarajan, SupportsUnequalPowers) {
+  CMatrix k = CMatrix::identity(2);
+  k(0, 0) = cdouble(1.0, 0.0);
+  k(1, 1) = cdouble(5.0, 0.0);
+  k(0, 1) = k(1, 0) = cdouble(1.2, 0.0);  // real covariance: in-scope
+  const baselines::NatarajanGenerator gen(k);
+  const CMatrix measured = measure_covariance(gen, 2, 150000, 55);
+  EXPECT_LT(stats::relative_frobenius_error(measured, k), 0.02);
+}
+
+TEST(Natarajan, RealForcingBiasesComplexCovariances) {
+  // The documented flaw: with complex K the achieved covariance is Re(K).
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const baselines::NatarajanGenerator gen(k);
+  EXPECT_LT(numeric::max_abs_diff(gen.achieved_covariance(),
+                                  numeric::to_complex(numeric::real_part(k))),
+            1e-14);
+  const CMatrix measured = measure_covariance(gen, 3, 150000, 56);
+  // Close to Re(K)...
+  EXPECT_LT(
+      stats::relative_frobenius_error(measured, gen.achieved_covariance()),
+      0.02);
+  // ...and measurably far from the true complex K (imag parts ~ 0.48 lost).
+  EXPECT_GT(stats::relative_frobenius_error(measured, k), 0.15);
+}
+
+TEST(Natarajan, FailsWhenRealPartNotPd) {
+  CMatrix k = CMatrix::identity(2);
+  k(0, 1) = k(1, 0) = cdouble(1.5, 0.0);
+  EXPECT_THROW((void)baselines::NatarajanGenerator{k}, NotPositiveDefiniteError);
+}
+
+// ---------------------------------------------------------------------------
+// Sorooshyari-Daut [6]
+// ---------------------------------------------------------------------------
+
+TEST(SorooshyariDaut, WorksOnPdMatrix) {
+  const CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const baselines::SorooshyariDautGenerator gen(k);
+  EXPECT_DOUBLE_EQ(gen.forcing_distance(), 0.0);  // PD input: untouched
+  const CMatrix measured = measure_covariance(gen, 3, 150000, 57);
+  EXPECT_LT(stats::relative_frobenius_error(measured, k), 0.02);
+}
+
+TEST(SorooshyariDaut, EpsilonForcingEnablesNonPsdInput) {
+  const CMatrix k = non_psd_equal_power_matrix();
+  const baselines::SorooshyariDautGenerator gen(k, 1e-3);
+  EXPECT_GT(gen.forcing_distance(), 0.0);
+  // The forced matrix is PD (all eigenvalues >= epsilon) and Hermitian.
+  EXPECT_TRUE(core::is_positive_semidefinite(gen.forced_covariance()));
+  // Its forcing distance strictly exceeds the paper's clip distance (E6).
+  const auto clip = core::force_positive_semidefinite(k);
+  EXPECT_GT(gen.forcing_distance(), clip.frobenius_distance);
+}
+
+TEST(SorooshyariDaut, RejectsUnequalPowers) {
+  CMatrix k = CMatrix::identity(2);
+  k(1, 1) = cdouble(2.0, 0.0);
+  EXPECT_THROW((void)baselines::SorooshyariDautGenerator{k}, ValueError);
+}
+
+TEST(SorooshyariDautRealTime, AssumesInputVariance) {
+  const CMatrix k = CMatrix::identity(2);
+  const baselines::SorooshyariDautRealTime gen(k, 256, 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(gen.assumed_variance(), 1.0);
+  EXPECT_LT(gen.true_branch_variance(), 0.05);  // filter shrinks the power
+
+  // Realised power is off by exactly the variance ratio.
+  random::Rng rng(58);
+  double power = 0.0;
+  std::size_t count = 0;
+  for (int b = 0; b < 100; ++b) {
+    const CMatrix block = gen.generate_block(rng);
+    for (std::size_t l = 0; l < block.rows(); ++l) {
+      power += std::norm(block(l, 0));
+      ++count;
+    }
+  }
+  const double measured_ratio = power / double(count);  // desired power = 1
+  EXPECT_NEAR(measured_ratio / gen.true_branch_variance(), 1.0, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Sum of sinusoids (Clarke/Jakes)
+// ---------------------------------------------------------------------------
+
+TEST(SumOfSinusoids, PowerIsTwo) {
+  // The Clarke normalisation sqrt(2/Np) gives E|z|^2 = 2.
+  const baselines::SumOfSinusoidsGenerator gen(32, 0.05);
+  random::Rng rng(59);
+  double power = 0.0;
+  std::size_t count = 0;
+  for (int b = 0; b < 50; ++b) {
+    const auto block = gen.generate_block(512, rng);
+    for (const auto& v : block) {
+      power += std::norm(v);
+    }
+    count += block.size();
+  }
+  EXPECT_NEAR(power / double(count), 2.0, 0.1);
+}
+
+TEST(SumOfSinusoids, AutocorrelationTracksJ0) {
+  // Independent construction, same second-order statistics as the IDFT
+  // branch: ensemble autocorrelation -> J0(2 pi fm d).
+  const double fm = 0.05;
+  const baselines::SumOfSinusoidsGenerator gen(64, fm);
+  random::Rng rng(60);
+  const std::size_t max_lag = 40;
+  numeric::RVector avg(max_lag + 1, 0.0);
+  const int blocks = 200;
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = gen.generate_block(1024, rng);
+    const auto rho = stats::normalized_autocorrelation(block, max_lag);
+    for (std::size_t d = 0; d <= max_lag; ++d) {
+      avg[d] += rho[d] / blocks;
+    }
+  }
+  for (std::size_t d = 0; d <= max_lag; d += 8) {
+    EXPECT_NEAR(avg[d], special::bessel_j0(2.0 * M_PI * fm * double(d)), 0.08)
+        << "lag " << d;
+  }
+}
+
+TEST(SumOfSinusoids, ValidatesArguments) {
+  EXPECT_THROW((void)baselines::SumOfSinusoidsGenerator(0, 0.1), ContractViolation);
+  EXPECT_THROW((void)baselines::SumOfSinusoidsGenerator(8, 0.0), ContractViolation);
+  EXPECT_THROW((void)baselines::SumOfSinusoidsGenerator(8, 0.6), ContractViolation);
+  const baselines::SumOfSinusoidsGenerator gen(8, 0.1);
+  random::Rng rng(61);
+  EXPECT_THROW((void)gen.generate_block(0, rng), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the Bessel functions, including a cross-check against
+// libstdc++'s std::cyl_bessel_j (an independent implementation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/special/bessel.hpp"
+
+namespace {
+
+using rfade::special::bessel_j0;
+using rfade::special::bessel_j1;
+using rfade::special::bessel_jn;
+
+TEST(Bessel, ValuesAtZero) {
+  EXPECT_DOUBLE_EQ(bessel_j0(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bessel_j1(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bessel_jn(2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bessel_jn(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bessel_jn(0, 0.0), 1.0);
+}
+
+TEST(Bessel, KnownReferenceValues) {
+  // Abramowitz & Stegun tabulated values.
+  EXPECT_NEAR(bessel_j0(1.0), 0.7651976865579666, 1e-12);
+  EXPECT_NEAR(bessel_j0(2.0), 0.2238907791412357, 1e-12);
+  EXPECT_NEAR(bessel_j0(5.0), -0.1775967713143383, 1e-12);
+  EXPECT_NEAR(bessel_j1(1.0), 0.4400505857449335, 1e-12);
+  EXPECT_NEAR(bessel_j1(2.0), 0.5767248077568734, 1e-12);
+  EXPECT_NEAR(bessel_jn(2, 1.0), 0.1149034849319005, 1e-12);
+  EXPECT_NEAR(bessel_jn(5, 5.0), 0.2611405461201701, 1e-11);
+}
+
+TEST(Bessel, FirstZerosOfJ0) {
+  // j_{0,1} = 2.404825557695773, j_{0,2} = 5.520078110286311.
+  EXPECT_NEAR(bessel_j0(2.404825557695773), 0.0, 1e-12);
+  EXPECT_NEAR(bessel_j0(5.520078110286311), 0.0, 1e-12);
+}
+
+TEST(Bessel, ReflectionIdentities) {
+  for (const double x : {0.3, 1.7, 4.2, 9.9}) {
+    EXPECT_NEAR(bessel_j0(-x), bessel_j0(x), 1e-14);
+    EXPECT_NEAR(bessel_j1(-x), -bessel_j1(x), 1e-14);
+    EXPECT_NEAR(bessel_jn(3, -x), -bessel_jn(3, x), 1e-13);
+    EXPECT_NEAR(bessel_jn(4, -x), bessel_jn(4, x), 1e-13);
+    EXPECT_NEAR(bessel_jn(-3, x), -bessel_jn(3, x), 1e-13);
+    EXPECT_NEAR(bessel_jn(-4, x), bessel_jn(4, x), 1e-13);
+  }
+}
+
+class BesselCrossCheck : public testing::TestWithParam<int> {};
+
+TEST_P(BesselCrossCheck, AgreesWithStdCylBesselJ) {
+  const int n = GetParam();
+  for (double x = 0.05; x <= 40.0; x += 0.35) {
+    const double ours = bessel_jn(n, x);
+    const double reference =
+        std::cyl_bessel_j(static_cast<double>(n), x);
+    EXPECT_NEAR(ours, reference, 2e-10)
+        << "n=" << n << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BesselCrossCheck,
+                         testing::Values(0, 1, 2, 3, 4, 5, 7, 10, 13, 16, 20,
+                                         25, 30, 40),
+                         [](const auto& tinfo) {
+                           return "order" + std::to_string(tinfo.param);
+                         });
+
+TEST(Bessel, ThreeTermRecurrenceHolds) {
+  // J_{n-1}(x) + J_{n+1}(x) = (2n/x) J_n(x).
+  for (const double x : {0.7, 2.5, 6.0, 11.0, 14.5, 25.0}) {
+    for (int n = 1; n <= 12; ++n) {
+      const double lhs = bessel_jn(n - 1, x) + bessel_jn(n + 1, x);
+      const double rhs = 2.0 * n / x * bessel_jn(n, x);
+      EXPECT_NEAR(lhs, rhs, 1e-9) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Bessel, SumIdentityNormalisation) {
+  // J_0(x) + 2 sum_{k>=1} J_{2k}(x) = 1.
+  for (const double x : {0.5, 3.0, 8.0, 15.0}) {
+    double sum = bessel_jn(0, x);
+    for (int k = 1; k <= 40; ++k) {
+      sum += 2.0 * bessel_jn(2 * k, x);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Bessel, SeriesAsymptoticCrossoverIsSmooth) {
+  // Values straddling the internal crossover at |x| = 12 must agree with
+  // the independent reference to the same tolerance on both sides.
+  for (const double x : {11.9, 11.99, 12.0, 12.01, 12.1}) {
+    EXPECT_NEAR(bessel_j0(x), std::cyl_bessel_j(0.0, x), 2e-11) << x;
+    EXPECT_NEAR(bessel_j1(x), std::cyl_bessel_j(1.0, x), 2e-11) << x;
+  }
+}
+
+TEST(Bessel, HighOrderSmallArgumentUnderflowsGracefully) {
+  // J_50(1) ~ 2.9e-80: Miller's algorithm must not produce NaN/Inf.
+  const double value = bessel_jn(50, 1.0);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_NEAR(value, 0.0, 1e-60);
+  EXPECT_GT(value, 0.0);  // J_n(x) > 0 for 0 < x << n
+}
+
+TEST(Bessel, LargeArgument) {
+  // Asymptotic region: compare against std at x = 100.
+  for (const int n : {0, 1, 2, 5}) {
+    EXPECT_NEAR(bessel_jn(n, 100.0),
+                std::cyl_bessel_j(static_cast<double>(n), 100.0), 1e-11)
+        << "n=" << n;
+  }
+}
+
+TEST(Bessel, PaperArguments) {
+  // The arguments the paper's scenarios actually use.
+  // Spectral: J0(2 pi * 50 * tau) for tau in {1, 3, 4} ms.
+  EXPECT_NEAR(bessel_j0(2.0 * M_PI * 50.0 * 1e-3),
+              std::cyl_bessel_j(0.0, 2.0 * M_PI * 50.0 * 1e-3), 1e-13);
+  // Spatial: J_q(2 pi d) for d in {1, 2}, q up to ~30.
+  for (int q = 0; q <= 30; ++q) {
+    for (const double d : {1.0, 2.0}) {
+      EXPECT_NEAR(bessel_jn(q, 2.0 * M_PI * d),
+                  std::cyl_bessel_j(static_cast<double>(q), 2.0 * M_PI * d),
+                  1e-10);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the complex Cholesky factorization and triangular solves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/numeric/cholesky.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+using numeric::CVector;
+
+/// Random Hermitian positive-definite matrix A = G G^H + n I.
+CMatrix random_spd(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  CMatrix a = numeric::gram(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) += cdouble(static_cast<double>(n), 0.0);
+  }
+  return a;
+}
+
+TEST(Cholesky, IdentityFactorsToIdentity) {
+  const CMatrix id = CMatrix::identity(4);
+  const CMatrix l = numeric::cholesky(id);
+  EXPECT_LT(numeric::max_abs_diff(l, id), 1e-14);
+}
+
+TEST(Cholesky, KnownRealMatrix) {
+  // [[4, 2], [2, 5]] = L L^T with L = [[2, 0], [1, 2]].
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(4, 0), cdouble(2, 0)}, {cdouble(2, 0), cdouble(5, 0)}});
+  const CMatrix l = numeric::cholesky(a);
+  EXPECT_NEAR(l(0, 0).real(), 2.0, 1e-14);
+  EXPECT_NEAR(l(1, 0).real(), 1.0, 1e-14);
+  EXPECT_NEAR(l(1, 1).real(), 2.0, 1e-14);
+  EXPECT_NEAR(std::abs(l(0, 1)), 0.0, 1e-14);
+}
+
+TEST(Cholesky, ComplexFactorReconstructs) {
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(2, 0), cdouble(0.5, 0.5)}, {cdouble(0.5, -0.5), cdouble(2, 0)}});
+  const CMatrix l = numeric::cholesky(a);
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(l), a), 1e-14);
+  // Strictly lower triangular: upper part must be zero.
+  EXPECT_EQ(l(0, 1), cdouble{});
+  // Real positive diagonal.
+  EXPECT_GT(l(0, 0).real(), 0.0);
+  EXPECT_EQ(l(0, 0).imag(), 0.0);
+}
+
+struct CholeskyCase {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class CholeskyProperty : public testing::TestWithParam<CholeskyCase> {};
+
+TEST_P(CholeskyProperty, ReconstructsRandomSpd) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_spd(n, seed);
+  const CMatrix l = numeric::cholesky(a);
+  const double scale = numeric::max_abs(a);
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(l), a), 1e-11 * scale);
+  EXPECT_TRUE(numeric::is_positive_definite(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CholeskyProperty,
+    testing::Values(CholeskyCase{1, 10}, CholeskyCase{2, 11},
+                    CholeskyCase{3, 12}, CholeskyCase{5, 13},
+                    CholeskyCase{8, 14}, CholeskyCase{16, 15},
+                    CholeskyCase{32, 16}, CholeskyCase{64, 17}),
+    [](const auto& tinfo) { return "n" + std::to_string(tinfo.param.n); });
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(1, 0), cdouble(2, 0)}, {cdouble(2, 0), cdouble(1, 0)}});
+  EXPECT_THROW((void)numeric::cholesky(a), NotPositiveDefiniteError);
+  EXPECT_FALSE(numeric::is_positive_definite(a));
+}
+
+TEST(Cholesky, ThrowsOnSemiDefinite) {
+  // Rank-1 matrix: positive semi-definite but not definite.
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(1, 0), cdouble(1, 0)}, {cdouble(1, 0), cdouble(1, 0)}});
+  EXPECT_THROW((void)numeric::cholesky(a), NotPositiveDefiniteError);
+}
+
+TEST(Cholesky, ThrowsOnNegativeDiagonal) {
+  const CMatrix a = CMatrix::from_rows({{cdouble(-1, 0)}});
+  EXPECT_THROW((void)numeric::cholesky(a), NotPositiveDefiniteError);
+}
+
+TEST(Cholesky, RejectsNonHermitian) {
+  CMatrix a = CMatrix::identity(2);
+  a(0, 1) = cdouble(0, 1);
+  a(1, 0) = cdouble(0, 1);  // should be -i for Hermitian
+  EXPECT_THROW((void)numeric::cholesky(a), ContractViolation);
+}
+
+TEST(Cholesky, NearSingularRespectsTolerance) {
+  // Eigenvalues {2, 1e-16}: numerically singular => rejected.
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(1.0, 0), cdouble(1.0 - 5e-17, 0)},
+       {cdouble(1.0 - 5e-17, 0), cdouble(1.0, 0)}});
+  EXPECT_THROW((void)numeric::cholesky(a), NotPositiveDefiniteError);
+}
+
+TEST(SolveLowerTriangular, SolvesKnownSystem) {
+  const CMatrix l = CMatrix::from_rows(
+      {{cdouble(2, 0), cdouble(0, 0)}, {cdouble(1, 0), cdouble(3, 0)}});
+  const CVector b = {cdouble(4, 0), cdouble(11, 0)};
+  const CVector y = numeric::solve_lower_triangular(l, b);
+  EXPECT_NEAR(std::abs(y[0] - cdouble(2, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(y[1] - cdouble(3, 0)), 0.0, 1e-14);
+}
+
+TEST(SolveLowerTriangular, ValidatesInput) {
+  const CMatrix l = CMatrix::identity(2);
+  EXPECT_THROW((void)numeric::solve_lower_triangular(l, CVector(3)),
+               ContractViolation);
+  CMatrix zero_diag = CMatrix::identity(2);
+  zero_diag(1, 1) = cdouble{};
+  EXPECT_THROW((void)numeric::solve_lower_triangular(zero_diag, CVector(2)),
+               ValueError);
+}
+
+TEST(Cholesky, FactorSolvesLinearSystem) {
+  // Verify L from Cholesky solves A x = b via forward substitution on L.
+  const CMatrix a = random_spd(6, 77);
+  const CMatrix l = numeric::cholesky(a);
+  random::Rng rng(123);
+  CVector x_true(6);
+  for (auto& v : x_true) {
+    v = cdouble(rng.gaussian(), rng.gaussian());
+  }
+  const CVector b = numeric::multiply(a, x_true);
+  // Solve L y = b, then L^H x = y (backward substitution via conjugate).
+  const CVector y = numeric::solve_lower_triangular(l, b);
+  // Backward substitution on L^H.
+  CVector x(6);
+  for (std::size_t ii = 6; ii-- > 0;) {
+    cdouble acc = y[ii];
+    for (std::size_t j = ii + 1; j < 6; ++j) {
+      acc -= std::conj(l(j, ii)) * x[j];
+    }
+    x[ii] = acc / std::conj(l(ii, ii));
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace

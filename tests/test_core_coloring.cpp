@@ -1,0 +1,141 @@
+// Tests for the coloring-matrix step (paper Sec. 4.3): the defining
+// identity L L^H = K_bar, behaviour on PSD/non-PSD/rank-deficient input,
+// and the Cholesky alternative.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/core/coloring.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using core::ColoringMethod;
+using core::ColoringOptions;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+CMatrix random_covariance(std::size_t n, std::uint64_t seed, double shift) {
+  random::Rng rng(seed);
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  CMatrix k = numeric::gram(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) += cdouble(shift, 0.0);
+  }
+  return k;
+}
+
+struct ColoringCase {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class EigenColoring : public testing::TestWithParam<ColoringCase> {};
+
+TEST_P(EigenColoring, GramIdentityOnPositiveDefinite) {
+  const auto [n, seed] = GetParam();
+  const CMatrix k = random_covariance(n, seed, 1.0);
+  const auto result = core::compute_coloring(k);
+  const double scale = numeric::max_abs(k);
+  // Paper Eq. (10): L L^H = K.
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(result.matrix), k),
+            1e-10 * scale);
+  EXPECT_LT(numeric::max_abs_diff(result.effective_covariance, k),
+            1e-12 * scale);
+  EXPECT_TRUE(result.psd.was_psd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EigenColoring,
+    testing::Values(ColoringCase{1, 31}, ColoringCase{2, 32},
+                    ColoringCase{3, 33}, ColoringCase{4, 34},
+                    ColoringCase{8, 35}, ColoringCase{16, 36},
+                    ColoringCase{32, 37}),
+    [](const auto& tinfo) { return "n" + std::to_string(tinfo.param.n); });
+
+TEST(Coloring, RankDeficientMatrixWorksWithEigenRoute) {
+  // K = v v^H is PSD with rank 1: Cholesky fails, eigen-coloring succeeds.
+  const numeric::CVector v = {cdouble(1, 0), cdouble(0.5, -0.5)};
+  CMatrix k(2, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      k(i, j) = v[i] * std::conj(v[j]);
+    }
+  }
+  const auto eigen_result = core::compute_coloring(k);
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(eigen_result.matrix), k),
+            1e-12);
+
+  ColoringOptions cholesky_options;
+  cholesky_options.method = ColoringMethod::Cholesky;
+  EXPECT_THROW((void)core::compute_coloring(k, cholesky_options),
+               NotPositiveDefiniteError);
+}
+
+TEST(Coloring, NonPsdMatrixIsForcedThenColored) {
+  // Start PSD, poison one off-diagonal pair to break PSD-ness.
+  CMatrix k = random_covariance(3, 40, 0.1);
+  k(0, 1) = cdouble(10.0, 0.0);
+  k(1, 0) = cdouble(10.0, 0.0);
+  const auto result = core::compute_coloring(k);
+  EXPECT_FALSE(result.psd.was_psd);
+  // L L^H equals the *forced* covariance, not the desired one.
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(result.matrix),
+                                  result.effective_covariance),
+            1e-9);
+  EXPECT_GT(result.psd.frobenius_distance, 0.0);
+  EXPECT_TRUE(core::is_positive_semidefinite(result.effective_covariance));
+}
+
+TEST(Coloring, CholeskyAndEigenYieldSameCovariance) {
+  const CMatrix k = random_covariance(5, 41, 2.0);
+  const auto eigen_result = core::compute_coloring(k);
+  ColoringOptions cholesky_options;
+  cholesky_options.method = ColoringMethod::Cholesky;
+  const auto cholesky_result = core::compute_coloring(k, cholesky_options);
+  // The factors differ (square vs triangular) but the Gram products agree.
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(eigen_result.matrix),
+                                  numeric::gram(cholesky_result.matrix)),
+            1e-9 * numeric::max_abs(k));
+}
+
+TEST(Coloring, EigenColoringIsVTimesSqrtLambda) {
+  // White-box check of steps 4-5: columns of L are sqrt(lambda_j) v_j.
+  const CMatrix k = random_covariance(4, 42, 1.0);
+  const auto result = core::compute_coloring(k);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double root = std::sqrt(result.psd.adjusted_eigenvalues[j]);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(std::abs(result.matrix(i, j) -
+                           result.psd.eigenvectors(i, j) * root),
+                  0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Coloring, JacobiEigenMethodOption) {
+  const CMatrix k = random_covariance(6, 43, 1.0);
+  ColoringOptions options;
+  options.psd.eigen_method = numeric::EigenMethod::Jacobi;
+  const auto result = core::compute_coloring(k, options);
+  EXPECT_LT(numeric::max_abs_diff(numeric::gram(result.matrix), k),
+            1e-9 * numeric::max_abs(k));
+}
+
+TEST(Coloring, RejectsInvalidInput) {
+  EXPECT_THROW((void)core::compute_coloring(CMatrix(2, 3)), ContractViolation);
+  CMatrix not_hermitian = CMatrix::identity(2);
+  not_hermitian(0, 1) = cdouble(1, 0);
+  EXPECT_THROW((void)core::compute_coloring(not_hermitian), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tests for the PSD-forcing step (paper Sec. 4.2), including the claim
+// that clip-to-zero dominates epsilon-replacement in Frobenius norm.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/core/psd.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace {
+
+using namespace rfade;
+using core::PsdOptions;
+using core::PsdPolicy;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+/// Hermitian matrix with prescribed eigenvalues and a random basis.
+CMatrix hermitian_with_spectrum(const numeric::RVector& spectrum,
+                                std::uint64_t seed) {
+  const std::size_t n = spectrum.size();
+  random::Rng rng(seed);
+  // Random Hermitian -> eigenvectors form a random unitary basis.
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  const auto eig = numeric::eigen_hermitian(
+      numeric::hermitian_part(numeric::add(g, numeric::conjugate_transpose(g))));
+  numeric::HermitianEigen prescribed;
+  prescribed.values = spectrum;
+  prescribed.vectors = eig.vectors;
+  return numeric::reconstruct(prescribed);
+}
+
+TEST(PsdForcing, PsdInputIsReturnedUnchanged) {
+  const CMatrix k = hermitian_with_spectrum({0.5, 1.0, 2.0}, 1);
+  const auto result = core::force_positive_semidefinite(k);
+  EXPECT_TRUE(result.was_psd);
+  EXPECT_EQ(result.frobenius_distance, 0.0);
+  EXPECT_LT(numeric::max_abs_diff(result.matrix, k), 1e-15);
+}
+
+TEST(PsdForcing, ClipRemovesNegativeEigenvalues) {
+  const numeric::RVector spectrum = {-0.5, 0.3, 1.2};
+  const CMatrix k = hermitian_with_spectrum(spectrum, 2);
+  const auto result = core::force_positive_semidefinite(k);
+  EXPECT_FALSE(result.was_psd);
+  // Adjusted eigenvalues: clip to zero, order preserved (ascending).
+  EXPECT_DOUBLE_EQ(result.adjusted_eigenvalues[0], 0.0);
+  EXPECT_NEAR(result.adjusted_eigenvalues[1], 0.3, 1e-10);
+  EXPECT_NEAR(result.adjusted_eigenvalues[2], 1.2, 1e-10);
+  // Frobenius distance equals sqrt(sum of squared clipped eigenvalues).
+  EXPECT_NEAR(result.frobenius_distance, 0.5, 1e-9);
+  EXPECT_TRUE(core::is_positive_semidefinite(result.matrix));
+  EXPECT_TRUE(numeric::is_hermitian(result.matrix));
+}
+
+TEST(PsdForcing, EpsilonReplacementMatchesRef6) {
+  const numeric::RVector spectrum = {-0.5, 0.3, 1.2};
+  const CMatrix k = hermitian_with_spectrum(spectrum, 3);
+  PsdOptions options;
+  options.policy = PsdPolicy::EpsilonReplace;
+  options.epsilon = 1e-3;
+  const auto result = core::force_positive_semidefinite(k, options);
+  EXPECT_FALSE(result.was_psd);
+  EXPECT_DOUBLE_EQ(result.adjusted_eigenvalues[0], 1e-3);
+  // Distance: sqrt((-0.5 - 1e-3)^2) = 0.501.
+  EXPECT_NEAR(result.frobenius_distance, 0.501, 1e-9);
+}
+
+TEST(PsdForcing, EpsilonReplacesExactZerosToo) {
+  // Ref [6] replaces lambda <= 0 (so Cholesky never sees a zero pivot);
+  // the paper's clip keeps zeros at zero.
+  const numeric::RVector spectrum = {0.0, 1.0};
+  const CMatrix k = hermitian_with_spectrum(spectrum, 4);
+  PsdOptions epsilon_options;
+  epsilon_options.policy = PsdPolicy::EpsilonReplace;
+  epsilon_options.epsilon = 0.01;
+  const auto eps_result = core::force_positive_semidefinite(k, epsilon_options);
+  EXPECT_NEAR(eps_result.adjusted_eigenvalues[0], 0.01, 1e-12);
+
+  const auto clip_result = core::force_positive_semidefinite(k);
+  EXPECT_NEAR(clip_result.adjusted_eigenvalues[0], 0.0, 1e-9);
+}
+
+struct PsdTrial {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class PsdDominance : public testing::TestWithParam<PsdTrial> {};
+
+TEST_P(PsdDominance, ClipIsAlwaysCloserInFrobeniusNorm) {
+  // The paper's precision claim (Sec. 4.2): for every non-PSD K, the
+  // clip-to-zero approximation is strictly closer than epsilon replacement.
+  const auto [n, seed] = GetParam();
+  random::Rng rng(seed);
+  numeric::RVector spectrum(n);
+  bool has_negative = false;
+  for (auto& lambda : spectrum) {
+    lambda = rng.gaussian();  // mixes positive and negative
+    has_negative |= lambda < 0.0;
+  }
+  if (!has_negative) {
+    spectrum[0] = -std::abs(spectrum[0]) - 0.1;
+  }
+  std::sort(spectrum.begin(), spectrum.end());
+  const CMatrix k = hermitian_with_spectrum(spectrum, seed ^ 0xFEED);
+
+  const auto clip = core::force_positive_semidefinite(k);
+  PsdOptions eps_options;
+  eps_options.policy = PsdPolicy::EpsilonReplace;
+  for (const double epsilon : {1e-6, 1e-4, 1e-2}) {
+    eps_options.epsilon = epsilon;
+    const auto eps = core::force_positive_semidefinite(k, eps_options);
+    EXPECT_LT(clip.frobenius_distance, eps.frobenius_distance)
+        << "epsilon=" << epsilon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trials, PsdDominance,
+    testing::Values(PsdTrial{2, 21}, PsdTrial{3, 22}, PsdTrial{4, 23},
+                    PsdTrial{5, 24}, PsdTrial{8, 25}, PsdTrial{12, 26},
+                    PsdTrial{16, 27}, PsdTrial{32, 28}),
+    [](const auto& tinfo) { return "n" + std::to_string(tinfo.param.n); });
+
+TEST(PsdForcing, Idempotent) {
+  const CMatrix k = hermitian_with_spectrum({-1.0, 0.5, 2.0}, 5);
+  const auto once = core::force_positive_semidefinite(k);
+  const auto twice = core::force_positive_semidefinite(once.matrix);
+  EXPECT_TRUE(twice.was_psd);
+  EXPECT_LT(numeric::max_abs_diff(twice.matrix, once.matrix), 1e-10);
+}
+
+TEST(PsdForcing, PreservesPositivePartOfSpectrum) {
+  // Clipping must not disturb the positive eigenvalues.
+  const numeric::RVector spectrum = {-2.0, 1.0, 3.0, 7.0};
+  const CMatrix k = hermitian_with_spectrum(spectrum, 6);
+  const auto result = core::force_positive_semidefinite(k);
+  const auto eig = numeric::eigen_hermitian(result.matrix);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-9);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-9);
+  EXPECT_NEAR(eig.values[3], 7.0, 1e-9);
+}
+
+TEST(PsdForcing, BothEigenMethodsAgree) {
+  const CMatrix k = hermitian_with_spectrum({-0.7, 0.2, 1.5, 2.5}, 7);
+  PsdOptions jacobi_options;
+  jacobi_options.eigen_method = numeric::EigenMethod::Jacobi;
+  const auto a = core::force_positive_semidefinite(k, jacobi_options);
+  const auto b = core::force_positive_semidefinite(k);  // QL default
+  EXPECT_LT(numeric::max_abs_diff(a.matrix, b.matrix), 1e-9);
+}
+
+TEST(PsdForcing, ValidatesOptions) {
+  const CMatrix k = CMatrix::identity(2);
+  PsdOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW((void)core::force_positive_semidefinite(k, bad), ContractViolation);
+  bad.epsilon = 1e-4;
+  bad.tolerance = -1.0;
+  EXPECT_THROW((void)core::force_positive_semidefinite(k, bad), ContractViolation);
+  EXPECT_THROW((void)core::force_positive_semidefinite(CMatrix(2, 3)),
+               ContractViolation);
+}
+
+TEST(IsPsd, Classification) {
+  EXPECT_TRUE(core::is_positive_semidefinite(CMatrix::identity(3)));
+  EXPECT_TRUE(core::is_positive_semidefinite(
+      hermitian_with_spectrum({0.0, 1.0}, 8)));
+  EXPECT_FALSE(core::is_positive_semidefinite(
+      hermitian_with_spectrum({-0.1, 1.0}, 9)));
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Tests for the Doppler machinery: Eq. (21) filter structure, the Eq. (19)
+// variance (analytic vs empirical), and the J0 autocorrelation target of
+// Eq. (20).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/doppler/filter.hpp"
+#include "rfade/doppler/idft_generator.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/special/bessel.hpp"
+#include "rfade/stats/autocorrelation.hpp"
+#include "rfade/stats/distributions.hpp"
+#include "rfade/stats/ks_test.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using doppler::DopplerFilterDesign;
+using doppler::IdftRayleighBranch;
+
+TEST(DopplerFilter, PaperParametersGiveKm204) {
+  // Sec. 6: M = 4096, fm = 0.05 => km = 204.
+  const auto design = doppler::young_beaulieu_filter(4096, 0.05);
+  EXPECT_EQ(design.km, 204u);
+  EXPECT_EQ(design.size(), 4096u);
+}
+
+TEST(DopplerFilter, StructureMatchesEq21) {
+  const std::size_t m = 1024;
+  const double fm = 0.1;
+  const auto design = doppler::young_beaulieu_filter(m, fm);
+  const auto& f = design.coefficients;
+  const std::size_t km = design.km;
+
+  // F[0] = 0.
+  EXPECT_EQ(f[0], 0.0);
+  // In-band bins sample the Jakes spectrum.
+  for (std::size_t k = 1; k < km; ++k) {
+    const double ratio = double(k) / (fm * double(m));
+    EXPECT_NEAR(f[k], std::sqrt(0.5 / std::sqrt(1.0 - ratio * ratio)), 1e-12);
+    EXPECT_GT(f[k], 0.0);
+  }
+  // Stopband is exactly zero.
+  for (std::size_t k = km + 1; k < m - km; ++k) {
+    EXPECT_EQ(f[k], 0.0) << "k=" << k;
+  }
+  // Mirror symmetry F[M-k] = F[k] for every k in 1..M-1.
+  for (std::size_t k = 1; k < m; ++k) {
+    EXPECT_NEAR(f[k], f[m - k], 1e-14);
+  }
+  // Band-edge coefficient matches the closed form.
+  const double km_d = double(km);
+  const double edge = std::sqrt(
+      km_d / 2.0 *
+      (M_PI / 2.0 - std::atan((km_d - 1.0) / std::sqrt(2.0 * km_d - 1.0))));
+  EXPECT_NEAR(f[km], edge, 1e-12);
+  // Spectrum coefficients grow toward the band edge (Jakes peaking).
+  EXPECT_GT(f[km - 1], f[1]);
+}
+
+TEST(DopplerFilter, ValidatesArguments) {
+  EXPECT_THROW((void)doppler::young_beaulieu_filter(4, 0.1), ContractViolation);
+  EXPECT_THROW((void)doppler::young_beaulieu_filter(64, 0.0), ContractViolation);
+  EXPECT_THROW((void)doppler::young_beaulieu_filter(64, 0.5), ContractViolation);
+  // fm*M < 1 => no in-band bin.
+  EXPECT_THROW((void)doppler::young_beaulieu_filter(64, 0.01), ContractViolation);
+}
+
+TEST(DopplerFilter, Eq19VarianceMatchesDirectSum) {
+  const auto design = doppler::young_beaulieu_filter(2048, 0.05);
+  double sum_f2 = 0.0;
+  for (const double f : design.coefficients) {
+    sum_f2 += f * f;
+  }
+  const double sigma_orig2 = 0.5;
+  EXPECT_NEAR(doppler::post_filter_variance(design, sigma_orig2),
+              2.0 * sigma_orig2 / (2048.0 * 2048.0) * sum_f2, 1e-15);
+  EXPECT_THROW((void)doppler::post_filter_variance(design, 0.0), ContractViolation);
+}
+
+TEST(DopplerFilter, NormalizedAutocorrelationTracksJ0) {
+  // Eq. (20): g[d]/g[0] ~ J0(2 pi fm d).
+  const double fm = 0.05;
+  const auto design = doppler::young_beaulieu_filter(4096, fm);
+  const auto rho = doppler::theoretical_normalized_autocorrelation(design, 100);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (std::size_t d = 1; d <= 100; ++d) {
+    const double j0 = special::bessel_j0(2.0 * M_PI * fm * double(d));
+    EXPECT_NEAR(rho[d], j0, 0.02) << "lag " << d;
+  }
+}
+
+TEST(DopplerFilter, SmallKmEdgeCase) {
+  // km = 1: only the band-edge coefficients are nonzero.
+  const auto design = doppler::young_beaulieu_filter(64, 1.5 / 64.0);
+  EXPECT_EQ(design.km, 1u);
+  EXPECT_GT(design.coefficients[1], 0.0);
+  EXPECT_GT(design.coefficients[63], 0.0);
+  EXPECT_EQ(design.coefficients[2], 0.0);
+}
+
+TEST(IdftBranch, BlockShapeAndZeroMean) {
+  IdftRayleighBranch branch(1024, 0.05, 0.5);
+  random::Rng rng(11);
+  const auto block = branch.generate_block(rng);
+  ASSERT_EQ(block.size(), 1024u);
+  numeric::cdouble mean{};
+  for (const auto& v : block) {
+    mean += v;
+  }
+  mean /= 1024.0;
+  // Zero-mean within Monte-Carlo noise (stddev of mean ~ sigma_g/sqrt(M),
+  // but samples are correlated; use a generous bound).
+  EXPECT_LT(std::abs(mean), 10.0 * std::sqrt(branch.output_variance()));
+}
+
+TEST(IdftBranch, EmpiricalVarianceMatchesEq19) {
+  // The paper's headline quantity: the filter changes the variance, and
+  // Eq. (19) predicts the new value exactly.
+  IdftRayleighBranch branch(512, 0.08, 0.5);
+  random::Rng rng(12);
+  double power = 0.0;
+  const int blocks = 300;
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = branch.generate_block(rng);
+    for (const auto& v : block) {
+      power += std::norm(v);
+    }
+  }
+  const double measured = power / (512.0 * blocks);
+  EXPECT_NEAR(measured / branch.output_variance(), 1.0, 0.05);
+  // And it is far from the input variance 2*sigma_orig^2 = 1.
+  EXPECT_LT(branch.output_variance(), 0.01);
+}
+
+TEST(IdftBranch, EmpiricalAutocorrelationTracksJ0) {
+  const double fm = 0.05;
+  IdftRayleighBranch branch(4096, fm, 0.5);
+  random::Rng rng(13);
+  // Average the normalised autocorrelation over several blocks.
+  const std::size_t max_lag = 60;
+  numeric::RVector avg(max_lag + 1, 0.0);
+  const int blocks = 20;
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = branch.generate_block(rng);
+    const auto rho = stats::normalized_autocorrelation(block, max_lag);
+    for (std::size_t d = 0; d <= max_lag; ++d) {
+      avg[d] += rho[d] / blocks;
+    }
+  }
+  for (std::size_t d = 0; d <= max_lag; d += 5) {
+    const double j0 = special::bessel_j0(2.0 * M_PI * fm * double(d));
+    EXPECT_NEAR(avg[d], j0, 0.08) << "lag " << d;
+  }
+}
+
+TEST(IdftBranch, EnvelopeIsRayleigh) {
+  // One sample per block is independent across blocks: KS-test those.
+  IdftRayleighBranch branch(256, 0.1, 0.5);
+  random::Rng rng(14);
+  const int n = 4000;
+  numeric::RVector samples(n);
+  for (int i = 0; i < n; ++i) {
+    const auto block = branch.generate_block(rng);
+    samples[static_cast<std::size_t>(i)] = std::abs(block[0]);
+  }
+  const auto rayleigh =
+      stats::RayleighDistribution::from_gaussian_power(branch.output_variance());
+  const auto ks =
+      stats::ks_test(samples, [&](double r) { return rayleigh.cdf(r); });
+  EXPECT_GT(ks.p_value, 1e-3);
+}
+
+TEST(IdftBranch, RealAndImaginaryPartsUncorrelated) {
+  // Eq. (18) with the real Eq. (21) filter: r_RI = 0.
+  IdftRayleighBranch branch(512, 0.08, 0.5);
+  random::Rng rng(15);
+  double cross = 0.0;
+  double power = 0.0;
+  const int blocks = 200;
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = branch.generate_block(rng);
+    for (const auto& v : block) {
+      cross += v.real() * v.imag();
+      power += std::norm(v);
+    }
+  }
+  EXPECT_LT(std::abs(cross) / power, 0.02);
+}
+
+TEST(IdftBranch, EnvelopeBlockMatchesComplexBlock) {
+  IdftRayleighBranch branch(256, 0.1, 0.5);
+  random::Rng rng_a(16);
+  random::Rng rng_b(16);
+  const auto complex_block = branch.generate_block(rng_a);
+  const auto envelope_block = branch.generate_envelope_block(rng_b);
+  for (std::size_t l = 0; l < 256; ++l) {
+    EXPECT_DOUBLE_EQ(envelope_block[l], std::abs(complex_block[l]));
+  }
+}
+
+}  // namespace

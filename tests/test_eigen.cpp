@@ -1,0 +1,218 @@
+// Tests for the Hermitian eigensolvers: defining identities, cross-method
+// agreement, and property sweeps over random Hermitian matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/numeric/eigen_hermitian.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+using numeric::EigenMethod;
+using numeric::HermitianEigen;
+
+/// Random Hermitian matrix A = G + G^H with entries from a seeded Rng.
+CMatrix random_hermitian(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g(i, j) = cdouble(rng.gaussian(), rng.gaussian());
+    }
+  }
+  return numeric::hermitian_part(numeric::add(g, numeric::conjugate_transpose(g)));
+}
+
+double unitarity_error(const CMatrix& v) {
+  const CMatrix vhv = numeric::multiply(numeric::conjugate_transpose(v), v);
+  return numeric::max_abs_diff(vhv, CMatrix::identity(v.rows()));
+}
+
+double decomposition_error(const CMatrix& a, const HermitianEigen& eig) {
+  return numeric::max_abs_diff(numeric::reconstruct(eig), a);
+}
+
+class EigenBothMethods : public testing::TestWithParam<EigenMethod> {};
+
+TEST_P(EigenBothMethods, DiagonalMatrix) {
+  const CMatrix a = numeric::diag(numeric::RVector{3.0, -1.0, 2.0});
+  const HermitianEigen eig = numeric::eigen_hermitian(a, GetParam());
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+  EXPECT_LT(unitarity_error(eig.vectors), 1e-12);
+}
+
+TEST_P(EigenBothMethods, Known2x2Hermitian) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(2, 0), cdouble(0, 1)}, {cdouble(0, -1), cdouble(2, 0)}});
+  const HermitianEigen eig = numeric::eigen_hermitian(a, GetParam());
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_LT(decomposition_error(a, eig), 1e-12);
+}
+
+TEST_P(EigenBothMethods, OneByOneAndIdentity) {
+  const CMatrix one = CMatrix::from_rows({{cdouble(-4.5, 0)}});
+  const HermitianEigen e1 = numeric::eigen_hermitian(one, GetParam());
+  EXPECT_NEAR(e1.values[0], -4.5, 1e-14);
+
+  const CMatrix id = CMatrix::identity(5);
+  const HermitianEigen e2 = numeric::eigen_hermitian(id, GetParam());
+  for (const double lambda : e2.values) {
+    EXPECT_NEAR(lambda, 1.0, 1e-12);
+  }
+}
+
+TEST_P(EigenBothMethods, RankDeficientOuterProduct) {
+  // A = v v^H has one eigenvalue ||v||^2 and the rest zero.
+  const numeric::CVector v = {cdouble(1, 1), cdouble(2, 0), cdouble(0, -1)};
+  CMatrix a(3, 3);
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    norm2 += std::norm(v[i]);
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = v[i] * std::conj(v[j]);
+    }
+  }
+  const HermitianEigen eig = numeric::eigen_hermitian(a, GetParam());
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 0.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], norm2, 1e-10);
+  EXPECT_LT(decomposition_error(a, eig), 1e-10);
+}
+
+TEST_P(EigenBothMethods, RejectsNonHermitian) {
+  CMatrix a = CMatrix::identity(2);
+  a(0, 1) = cdouble(1, 0);  // asymmetric
+  EXPECT_THROW((void)numeric::eigen_hermitian(a, GetParam()), ContractViolation);
+  EXPECT_THROW((void)numeric::eigen_hermitian(CMatrix(2, 3), GetParam()),
+               ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, EigenBothMethods,
+                         testing::Values(EigenMethod::Jacobi,
+                                         EigenMethod::TridiagonalQL),
+                         [](const auto& tinfo) {
+                           return tinfo.param == EigenMethod::Jacobi
+                                      ? "Jacobi"
+                                      : "TridiagonalQL";
+                         });
+
+struct EigenPropertyCase {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class EigenProperty : public testing::TestWithParam<EigenPropertyCase> {};
+
+TEST_P(EigenProperty, DefiningIdentitiesHoldForBothMethods) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed);
+  const double scale = std::max(1.0, numeric::max_abs(a));
+
+  for (const EigenMethod method :
+       {EigenMethod::Jacobi, EigenMethod::TridiagonalQL}) {
+    const HermitianEigen eig = numeric::eigen_hermitian(a, method);
+    ASSERT_EQ(eig.values.size(), n);
+    // Ascending eigenvalues.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_LE(eig.values[i], eig.values[i + 1] + 1e-12 * scale);
+    }
+    EXPECT_LT(unitarity_error(eig.vectors), 1e-11) << "n=" << n;
+    EXPECT_LT(decomposition_error(a, eig), 1e-10 * scale) << "n=" << n;
+    // Trace equals eigenvalue sum.
+    double sum = 0.0;
+    for (const double lambda : eig.values) {
+      sum += lambda;
+    }
+    EXPECT_NEAR(sum, numeric::trace(a).real(), 1e-9 * scale * double(n));
+  }
+}
+
+TEST_P(EigenProperty, MethodsAgreeOnEigenvalues) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed ^ 0xABCDEF);
+  const HermitianEigen jacobi =
+      numeric::eigen_hermitian(a, EigenMethod::Jacobi);
+  const HermitianEigen ql =
+      numeric::eigen_hermitian(a, EigenMethod::TridiagonalQL);
+  const double scale = std::max(1.0, numeric::max_abs(a));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(jacobi.values[i], ql.values[i], 1e-10 * scale) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EigenProperty,
+    testing::Values(EigenPropertyCase{2, 1}, EigenPropertyCase{3, 2},
+                    EigenPropertyCase{4, 3}, EigenPropertyCase{5, 4},
+                    EigenPropertyCase{8, 5}, EigenPropertyCase{12, 6},
+                    EigenPropertyCase{16, 7}, EigenPropertyCase{24, 8},
+                    EigenPropertyCase{32, 9}, EigenPropertyCase{48, 10},
+                    EigenPropertyCase{64, 11}),
+    [](const auto& tinfo) { return "n" + std::to_string(tinfo.param.n); });
+
+TEST(Eigen, RealSymmetricAgreesWithAnalyticFormula) {
+  // [[a, b], [b, c]] eigenvalues: (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2).
+  const double a = 2.0;
+  const double b = -1.5;
+  const double c = -1.0;
+  const CMatrix m = CMatrix::from_rows(
+      {{cdouble(a, 0), cdouble(b, 0)}, {cdouble(b, 0), cdouble(c, 0)}});
+  const double mid = 0.5 * (a + c);
+  const double rad = std::sqrt(0.25 * (a - c) * (a - c) + b * b);
+  const HermitianEigen eig = numeric::eigen_hermitian(m);
+  EXPECT_NEAR(eig.values[0], mid - rad, 1e-12);
+  EXPECT_NEAR(eig.values[1], mid + rad, 1e-12);
+}
+
+TEST(Eigen, EigenvectorsSatisfyAvEqualsLambdaV) {
+  const CMatrix a = random_hermitian(10, 99);
+  const HermitianEigen eig = numeric::eigen_hermitian(a);
+  for (std::size_t j = 0; j < 10; ++j) {
+    numeric::CVector v(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      v[i] = eig.vectors(i, j);
+    }
+    const numeric::CVector av = numeric::multiply(a, v);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(std::abs(av[i] - eig.values[j] * v[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, ZeroMatrix) {
+  const CMatrix zero(4, 4, cdouble{});
+  for (const EigenMethod method :
+       {EigenMethod::Jacobi, EigenMethod::TridiagonalQL}) {
+    const HermitianEigen eig = numeric::eigen_hermitian(zero, method);
+    for (const double lambda : eig.values) {
+      EXPECT_EQ(lambda, 0.0);
+    }
+    EXPECT_LT(unitarity_error(eig.vectors), 1e-13);
+  }
+}
+
+TEST(Eigen, LargeSpreadEigenvalues) {
+  // Widely spread spectrum exercises shift/deflation logic.
+  const CMatrix a = numeric::diag(numeric::RVector{1e-8, 1.0, 1e8});
+  for (const EigenMethod method :
+       {EigenMethod::Jacobi, EigenMethod::TridiagonalQL}) {
+    const HermitianEigen eig = numeric::eigen_hermitian(a, method);
+    EXPECT_NEAR(eig.values[0], 1e-8, 1e-16);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-8);
+    EXPECT_NEAR(eig.values[2], 1e8, 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Tests for the FFT module: known transforms, roundtrips, Parseval,
+// cross-validation against the O(N^2) reference for both radix-2 and
+// Bluestein paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/fft/fft.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using fft::Direction;
+using numeric::cdouble;
+using numeric::CVector;
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+CVector random_signal(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  CVector x(n);
+  for (auto& v : x) {
+    v = cdouble(rng.gaussian(), rng.gaussian());
+  }
+  return x;
+}
+
+double max_diff(const CVector& a, const CVector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_FALSE(fft::is_power_of_two(0));
+  EXPECT_TRUE(fft::is_power_of_two(1));
+  EXPECT_TRUE(fft::is_power_of_two(1024));
+  EXPECT_FALSE(fft::is_power_of_two(3));
+  EXPECT_FALSE(fft::is_power_of_two(1000));
+}
+
+TEST(Fft, ImpulseTransformsToConstant) {
+  CVector x(8, cdouble{});
+  x[0] = cdouble(1, 0);
+  const CVector spectrum = fft::dft(x);
+  for (const cdouble& value : spectrum) {
+    EXPECT_NEAR(std::abs(value - cdouble(1, 0)), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  const CVector x(16, cdouble(1, 0));
+  const CVector spectrum = fft::dft(x);
+  EXPECT_NEAR(std::abs(spectrum[0] - cdouble(16, 0)), 0.0, 1e-12);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  CVector x(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    x[l] = std::polar(1.0, 2.0 * kPi * double(bin) * double(l) / double(n));
+  }
+  const CVector spectrum = fft::dft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == bin ? double(n) : 0.0;
+    EXPECT_NEAR(std::abs(spectrum[k]), expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Fft, IdftIncludesOneOverN) {
+  // idft(dft(x)) must be the identity (the paper's 1/M convention).
+  const CVector x = random_signal(256, 42);
+  const CVector back = fft::idft(fft::dft(x));
+  EXPECT_LT(max_diff(back, x), 1e-12);
+}
+
+TEST(Fft, EmptyAndSizeOne) {
+  EXPECT_TRUE(fft::dft({}).empty());
+  const CVector one = {cdouble(3, -2)};
+  EXPECT_EQ(fft::dft(one)[0], cdouble(3, -2));
+  EXPECT_EQ(fft::idft(one)[0], cdouble(3, -2));
+}
+
+TEST(Fft, InplaceRejectsNonPowerOfTwo) {
+  CVector x(6);
+  EXPECT_THROW((void)fft::fft_pow2_inplace(x, Direction::Forward),
+               ContractViolation);
+}
+
+class FftSizes : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const CVector x = random_signal(n, 1000 + n);
+  const CVector fast = fft::dft(x);
+  const CVector slow = fft::naive_dft(x, Direction::Forward);
+  // Naive DFT error itself grows with n; tolerance scales accordingly.
+  EXPECT_LT(max_diff(fast, slow), 1e-9 * std::max<double>(1.0, double(n)));
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const CVector x = random_signal(n, 2000 + n);
+  EXPECT_LT(max_diff(fft::idft(fft::dft(x)), x), 1e-10);
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const CVector x = random_signal(n, 3000 + n);
+  const CVector spectrum = fft::dft(x);
+  double time_energy = 0.0;
+  double freq_energy = 0.0;
+  for (const auto& v : x) {
+    time_energy += std::norm(v);
+  }
+  for (const auto& v : spectrum) {
+    freq_energy += std::norm(v);
+  }
+  EXPECT_NEAR(freq_energy / double(n), time_energy,
+              1e-10 * std::max(1.0, time_energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersOfTwoAndNot, FftSizes,
+    testing::Values(std::size_t{2}, std::size_t{3}, std::size_t{4},
+                    std::size_t{5}, std::size_t{7}, std::size_t{8},
+                    std::size_t{12}, std::size_t{16}, std::size_t{31},
+                    std::size_t{64}, std::size_t{100}, std::size_t{128},
+                    std::size_t{255}, std::size_t{257}, std::size_t{1000},
+                    std::size_t{1024}),
+    [](const auto& tinfo) { return "n" + std::to_string(tinfo.param); });
+
+TEST(Fft, LinearityHolds) {
+  const CVector x = random_signal(128, 7);
+  const CVector y = random_signal(128, 8);
+  const cdouble alpha(2.0, -1.0);
+  CVector combo(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    combo[i] = alpha * x[i] + y[i];
+  }
+  const CVector lhs = fft::dft(combo);
+  const CVector fx = fft::dft(x);
+  const CVector fy = fft::dft(y);
+  double m = 0.0;
+  for (std::size_t k = 0; k < 128; ++k) {
+    m = std::max(m, std::abs(lhs[k] - (alpha * fx[k] + fy[k])));
+  }
+  EXPECT_LT(m, 1e-11);
+}
+
+TEST(Fft, TimeShiftBecomesPhaseRamp) {
+  const std::size_t n = 64;
+  const std::size_t shift = 3;
+  const CVector x = random_signal(n, 9);
+  CVector shifted(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    shifted[l] = x[(l + n - shift) % n];
+  }
+  const CVector fx = fft::dft(x);
+  const CVector fs = fft::dft(shifted);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cdouble ramp =
+        std::polar(1.0, -2.0 * kPi * double(k) * double(shift) / double(n));
+    EXPECT_NEAR(std::abs(fs[k] - ramp * fx[k]), 0.0, 1e-11);
+  }
+}
+
+TEST(Fft, ForwardInverseAreConjugateTransforms) {
+  // inverse(x) == conj(forward(conj(x))).
+  const CVector x = random_signal(96, 10);  // Bluestein path
+  CVector conj_x(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    conj_x[i] = std::conj(x[i]);
+  }
+  const CVector lhs = fft::transform(x, Direction::Inverse);
+  const CVector rhs_raw = fft::transform(conj_x, Direction::Forward);
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, std::abs(lhs[i] - std::conj(rhs_raw[i])));
+  }
+  EXPECT_LT(m, 1e-11);
+}
+
+TEST(Fft, LargeTransformAccuracy) {
+  // M = 4096 is the paper's IDFT size; verify roundtrip accuracy there.
+  const CVector x = random_signal(4096, 11);
+  EXPECT_LT(max_diff(fft::idft(fft::dft(x)), x), 1e-11);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the dense matrix container and the linear-algebra kernels.
+
+#include <gtest/gtest.h>
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+using numeric::CVector;
+using numeric::RMatrix;
+using numeric::RVector;
+
+TEST(Matrix, ConstructionAndAccess) {
+  CMatrix m(2, 3, cdouble(1.0, -1.0));
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.is_square());
+  EXPECT_EQ(m(1, 2), cdouble(1.0, -1.0));
+  m(0, 0) = cdouble(5.0, 0.0);
+  EXPECT_EQ(m.at(0, 0), cdouble(5.0, 0.0));
+}
+
+TEST(Matrix, AtChecksBounds) {
+  CMatrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), ContractViolation);
+  EXPECT_THROW((void)m.at(0, 2), ContractViolation);
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  const RMatrix m = RMatrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  const CMatrix id = CMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), (i == j ? cdouble(1.0) : cdouble{}));
+    }
+  }
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW((void)RMatrix::from_rows({{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, EqualityAndFill) {
+  RMatrix a(2, 2, 1.0);
+  RMatrix b(2, 2, 1.0);
+  EXPECT_TRUE(a == b);
+  b.fill(2.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatrixOps, MultiplyKnownProduct) {
+  const RMatrix a = RMatrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const RMatrix b = RMatrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const RMatrix c = numeric::multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixOps, MultiplyShapeMismatchThrows) {
+  const RMatrix a(2, 3, 1.0);
+  const RMatrix b(2, 3, 1.0);
+  EXPECT_THROW((void)numeric::multiply(a, b), ContractViolation);
+}
+
+TEST(MatrixOps, ComplexMultiplyAndMatvec) {
+  const CMatrix a =
+      CMatrix::from_rows({{cdouble(0, 1), cdouble(1, 0)},
+                          {cdouble(2, 0), cdouble(0, -1)}});
+  const CVector x = {cdouble(1, 0), cdouble(0, 1)};
+  const CVector y = numeric::multiply(a, x);
+  EXPECT_EQ(y[0], cdouble(0, 2));   // i*1 + 1*i = 2i
+  EXPECT_EQ(y[1], cdouble(3, 0));   // 2*1 + (-i)*i = 2+1
+}
+
+TEST(MatrixOps, ConjugateTranspose) {
+  const CMatrix a = CMatrix::from_rows({{cdouble(1, 2), cdouble(3, 4)}});
+  const CMatrix ah = numeric::conjugate_transpose(a);
+  EXPECT_EQ(ah.rows(), 2u);
+  EXPECT_EQ(ah.cols(), 1u);
+  EXPECT_EQ(ah(0, 0), cdouble(1, -2));
+  EXPECT_EQ(ah(1, 0), cdouble(3, -4));
+}
+
+TEST(MatrixOps, GramEqualsLTimesLH) {
+  const CMatrix l = CMatrix::from_rows(
+      {{cdouble(1, 0), cdouble(0, 0)}, {cdouble(2, 1), cdouble(3, 0)}});
+  const CMatrix g = numeric::gram(l);
+  const CMatrix expected =
+      numeric::multiply(l, numeric::conjugate_transpose(l));
+  EXPECT_LT(numeric::max_abs_diff(g, expected), 1e-14);
+  EXPECT_TRUE(numeric::is_hermitian(g));
+}
+
+TEST(MatrixOps, NormsAndDiffs) {
+  const CMatrix a = CMatrix::from_rows({{cdouble(3, 4)}});
+  EXPECT_DOUBLE_EQ(numeric::frobenius_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(numeric::max_abs(a), 5.0);
+  const CMatrix b = CMatrix::from_rows({{cdouble(0, 0)}});
+  EXPECT_DOUBLE_EQ(numeric::max_abs_diff(a, b), 5.0);
+}
+
+TEST(MatrixOps, HermitianDetection) {
+  CMatrix h = CMatrix::from_rows(
+      {{cdouble(2, 0), cdouble(1, 1)}, {cdouble(1, -1), cdouble(3, 0)}});
+  EXPECT_TRUE(numeric::is_hermitian(h));
+  h(0, 1) = cdouble(1, 2);
+  EXPECT_FALSE(numeric::is_hermitian(h));
+  // Imaginary diagonal breaks hermitianness.
+  CMatrix d = CMatrix::identity(2);
+  d(0, 0) = cdouble(1, 0.5);
+  EXPECT_FALSE(numeric::is_hermitian(d));
+  // Non-square is never Hermitian.
+  EXPECT_FALSE(numeric::is_hermitian(CMatrix(2, 3)));
+}
+
+TEST(MatrixOps, HermitianPartProjects) {
+  const CMatrix a = CMatrix::from_rows(
+      {{cdouble(1, 1), cdouble(2, 0)}, {cdouble(0, 0), cdouble(4, -2)}});
+  const CMatrix h = numeric::hermitian_part(a);
+  EXPECT_TRUE(numeric::is_hermitian(h));
+  EXPECT_DOUBLE_EQ(h(0, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 0).imag(), 0.0);
+  EXPECT_EQ(h(0, 1), std::conj(h(1, 0)));
+}
+
+TEST(MatrixOps, AddSubtractScale) {
+  const CMatrix a(2, 2, cdouble(1, 1));
+  const CMatrix b(2, 2, cdouble(2, -1));
+  EXPECT_EQ(numeric::add(a, b)(0, 0), cdouble(3, 0));
+  EXPECT_EQ(numeric::subtract(a, b)(1, 1), cdouble(-1, 2));
+  EXPECT_EQ(numeric::scale(a, cdouble(0, 1))(0, 0), cdouble(-1, 1));
+}
+
+TEST(MatrixOps, DiagAndTrace) {
+  const CMatrix d = numeric::diag(RVector{1.0, 2.0, 3.0});
+  EXPECT_EQ(d(1, 1), cdouble(2, 0));
+  EXPECT_EQ(d(0, 1), cdouble{});
+  EXPECT_EQ(numeric::trace(d), cdouble(6, 0));
+  const CVector diag_back = numeric::diagonal(d);
+  EXPECT_EQ(diag_back[2], cdouble(3, 0));
+  EXPECT_THROW((void)numeric::trace(CMatrix(2, 3)), ContractViolation);
+}
+
+TEST(MatrixOps, RealImagConversions) {
+  const CMatrix a = CMatrix::from_rows({{cdouble(1, 2)}});
+  EXPECT_DOUBLE_EQ(numeric::real_part(a)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(numeric::imag_part(a)(0, 0), 2.0);
+  const RMatrix r = RMatrix::from_rows({{7.0}});
+  EXPECT_EQ(numeric::to_complex(r)(0, 0), cdouble(7, 0));
+}
+
+TEST(MatrixOps, TransposeReal) {
+  const RMatrix a = RMatrix::from_rows({{1.0, 2.0, 3.0}});
+  const RMatrix t = numeric::transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Tests for the RNG stack: Philox structure, stream independence,
+// distributional quality of the Gaussian/complex-Gaussian samplers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/random/philox.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/random/xoshiro.hpp"
+#include "rfade/stats/distributions.hpp"
+#include "rfade/stats/ks_test.hpp"
+#include "rfade/stats/moments.hpp"
+
+namespace {
+
+using namespace rfade;
+using random::EngineKind;
+using random::GaussianAlgorithm;
+using random::PhiloxEngine;
+using random::Rng;
+using random::XoshiroEngine;
+
+TEST(Philox, DeterministicGivenSeed) {
+  PhiloxEngine a(123, 0);
+  PhiloxEngine b(123, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Philox, DifferentSeedsDiffer) {
+  PhiloxEngine a(1, 0);
+  PhiloxEngine b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Philox, DifferentStreamsDiffer) {
+  PhiloxEngine a(7, 0);
+  PhiloxEngine b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Philox, SeekReplaysBlock) {
+  PhiloxEngine a(99, 5);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 8; ++i) {
+    first.push_back(a.next_u64());
+  }
+  a.seek(0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.next_u64(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Philox, BlockFunctionIsPureAndSensitive) {
+  const std::array<std::uint32_t, 2> key = {0x12345678u, 0x9ABCDEF0u};
+  const std::array<std::uint32_t, 4> ctr = {1u, 2u, 3u, 4u};
+  const auto out1 = PhiloxEngine::block(key, ctr);
+  const auto out2 = PhiloxEngine::block(key, ctr);
+  EXPECT_EQ(out1, out2);  // pure function
+
+  // Single-bit counter change flips roughly half the output bits.
+  auto ctr_flipped = ctr;
+  ctr_flipped[0] ^= 1u;
+  const auto out3 = PhiloxEngine::block(key, ctr_flipped);
+  int flipped_bits = 0;
+  for (std::size_t w = 0; w < 4; ++w) {
+    flipped_bits += std::popcount(out1[w] ^ out3[w]);
+  }
+  EXPECT_GT(flipped_bits, 32);  // avalanche: expect ~64 of 128
+  EXPECT_LT(flipped_bits, 96);
+
+  // Key sensitivity as well.
+  auto key_flipped = key;
+  key_flipped[1] ^= 0x80000000u;
+  const auto out4 = PhiloxEngine::block(key_flipped, ctr);
+  EXPECT_NE(out1, out4);
+}
+
+TEST(Xoshiro, DeterministicAndStreamsDiffer) {
+  XoshiroEngine a(42, 0);
+  XoshiroEngine b(42, 0);
+  XoshiroEngine c(42, 1);
+  bool stream_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    stream_differs |= va != c.next_u64();
+  }
+  EXPECT_TRUE(stream_differs);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(6);
+  stats::RunningStats acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.add(rng.uniform01());
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.005);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.002);
+}
+
+class GaussianQuality
+    : public testing::TestWithParam<std::pair<EngineKind, GaussianAlgorithm>> {
+};
+
+TEST_P(GaussianQuality, MomentsAndKsAgainstNormal) {
+  const auto [kind, algorithm] = GetParam();
+  Rng rng(kind, 1234, 0, algorithm);
+  const std::size_t n = 100000;
+  numeric::RVector samples(n);
+  stats::RunningStats acc;
+  double third = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = rng.gaussian();
+    acc.add(samples[i]);
+    third += samples[i] * samples[i] * samples[i];
+  }
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.variance(), 1.0, 0.02);
+  EXPECT_NEAR(third / double(n), 0.0, 0.05);  // skewness ~ 0
+
+  const auto ks = stats::ks_test(
+      samples, [](double x) { return stats::normal_cdf(x); });
+  EXPECT_GT(ks.p_value, 1e-4) << "engine/algorithm produced non-normal output";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndAlgorithms, GaussianQuality,
+    testing::Values(
+        std::make_pair(EngineKind::Philox, GaussianAlgorithm::BoxMuller),
+        std::make_pair(EngineKind::Philox, GaussianAlgorithm::Polar),
+        std::make_pair(EngineKind::Xoshiro, GaussianAlgorithm::BoxMuller),
+        std::make_pair(EngineKind::Xoshiro, GaussianAlgorithm::Polar)),
+    [](const auto& tinfo) {
+      std::string name =
+          tinfo.param.first == EngineKind::Philox ? "Philox" : "Xoshiro";
+      name += tinfo.param.second == GaussianAlgorithm::BoxMuller ? "BoxMuller"
+                                                                : "Polar";
+      return name;
+    });
+
+TEST(Rng, GaussianMeanStddevParameters) {
+  Rng rng(7);
+  stats::RunningStats acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.add(rng.gaussian(3.0, 2.0));
+  }
+  EXPECT_NEAR(acc.mean(), 3.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+  EXPECT_THROW((void)rng.gaussian(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, ComplexGaussianVarianceSplit) {
+  Rng rng(8);
+  const double variance = 4.0;
+  stats::RunningStats re;
+  stats::RunningStats im;
+  double cross = 0.0;
+  double power = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto z = rng.complex_gaussian(variance);
+    re.add(z.real());
+    im.add(z.imag());
+    cross += z.real() * z.imag();
+    power += std::norm(z);
+  }
+  // Per-dimension variance = variance / 2 (paper Sec. 4.1).
+  EXPECT_NEAR(re.variance(), variance / 2.0, 0.05);
+  EXPECT_NEAR(im.variance(), variance / 2.0, 0.05);
+  // Independence of real/imaginary parts.
+  EXPECT_NEAR(cross / n, 0.0, 0.05);
+  // Total power E|z|^2 = variance.
+  EXPECT_NEAR(power / n, variance, 0.08);
+}
+
+TEST(Rng, ForkStreamIsIndependentAndDeterministic) {
+  const Rng root(101);
+  Rng s1 = root.fork_stream(1);
+  Rng s1_again = root.fork_stream(1);
+  Rng s2 = root.fork_stream(2);
+  double corr = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double a = s1.gaussian();
+    const double b = s2.gaussian();
+    EXPECT_EQ(a, s1_again.gaussian());
+    corr += a * b;
+  }
+  EXPECT_NEAR(corr / 50000.0, 0.0, 0.02);
+}
+
+TEST(Rng, EngineNamesReported) {
+  EXPECT_STREQ(Rng(EngineKind::Philox, 1, 0).engine_name(), "philox4x32-10");
+  EXPECT_STREQ(Rng(EngineKind::Xoshiro, 1, 0).engine_name(), "xoshiro256++");
+}
+
+TEST(Rng, ChiSquareUniformityOfBits) {
+  // 256 buckets over the top byte of next_u64.
+  Rng rng(2024);
+  std::array<int, 256> counts{};
+  const int n = 256000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.next_u64() >> 56)];
+  }
+  double chi2 = 0.0;
+  const double expected = n / 256.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // dof = 255; mean 255, stddev ~ sqrt(510) ~ 22.6. 5 sigma window.
+  EXPECT_LT(chi2, 255.0 + 5.0 * 22.6);
+  EXPECT_GT(chi2, 255.0 - 5.0 * 22.6);
+}
+
+}  // namespace

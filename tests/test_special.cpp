@@ -1,0 +1,108 @@
+// Tests for the incomplete gamma functions and Kolmogorov distribution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/special/gamma.hpp"
+#include "rfade/special/kolmogorov.hpp"
+#include "rfade/support/error.hpp"
+
+namespace {
+
+using rfade::special::chi_square_survival;
+using rfade::special::kolmogorov_p_value;
+using rfade::special::kolmogorov_survival;
+using rfade::special::regularized_gamma_p;
+using rfade::special::regularized_gamma_q;
+
+TEST(Gamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(1.0, 0.0), 1.0);
+}
+
+TEST(Gamma, PPlusQEqualsOne) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (const double x : {0.1, 0.9, 2.0, 5.0, 20.0, 80.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Gamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-13);
+  }
+}
+
+TEST(Gamma, ErfSpecialCase) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (const double x : {0.2, 0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Gamma, Monotone) {
+  double previous = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.25) {
+    const double p = regularized_gamma_p(3.0, x);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(Gamma, RejectsBadArguments) {
+  EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0), rfade::ContractViolation);
+  EXPECT_THROW((void)regularized_gamma_p(-1.0, 1.0), rfade::ContractViolation);
+  EXPECT_THROW((void)regularized_gamma_q(1.0, -1.0), rfade::ContractViolation);
+}
+
+TEST(ChiSquare, SurvivalKnownValues) {
+  // dof = 2: survival = e^{-x/2}.
+  for (const double x : {0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(chi_square_survival(x, 2.0), std::exp(-0.5 * x), 1e-12);
+  }
+  // Median of chi^2(1) is ~0.4549.
+  EXPECT_NEAR(chi_square_survival(0.45493642311957, 1.0), 0.5, 1e-9);
+}
+
+TEST(ChiSquare, TailsBehave) {
+  EXPECT_NEAR(chi_square_survival(0.0, 5.0), 1.0, 1e-14);
+  EXPECT_LT(chi_square_survival(100.0, 5.0), 1e-15);
+}
+
+TEST(Kolmogorov, LimitsAndKnownValue) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(-1.0), 1.0);
+  EXPECT_LT(kolmogorov_survival(3.0), 1e-7);
+  // Q_KS(1) = 2 (e^{-2} - e^{-8} + e^{-18} - ...) ~ 0.26999967.
+  EXPECT_NEAR(kolmogorov_survival(1.0), 0.26999967, 1e-7);
+}
+
+TEST(Kolmogorov, Monotone) {
+  double previous = 2.0;
+  for (double lambda = 0.05; lambda < 3.0; lambda += 0.05) {
+    const double q = kolmogorov_survival(lambda);
+    // Monotone up to the ~1e-13 cancellation noise of the alternating
+    // series near its lambda -> 0 plateau.
+    EXPECT_LE(q, previous + 1e-12);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    previous = q;
+  }
+}
+
+TEST(Kolmogorov, PValueScalesWithSampleSize) {
+  // Same statistic, more samples => more significant (smaller p).
+  const double d = 0.05;
+  const double p_small = kolmogorov_p_value(d, 100.0);
+  const double p_large = kolmogorov_p_value(d, 10000.0);
+  EXPECT_GT(p_small, p_large);
+  EXPECT_THROW((void)kolmogorov_p_value(-0.1, 10.0), rfade::ContractViolation);
+  EXPECT_THROW((void)kolmogorov_p_value(0.1, 0.0), rfade::ContractViolation);
+}
+
+}  // namespace

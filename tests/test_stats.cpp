@@ -1,0 +1,317 @@
+// Tests for the statistics module: moments, covariance accumulation,
+// autocorrelation, GoF tests, histogram, fading metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfade/random/rng.hpp"
+#include "rfade/stats/autocorrelation.hpp"
+#include "rfade/stats/chi_square.hpp"
+#include "rfade/stats/covariance.hpp"
+#include "rfade/stats/distributions.hpp"
+#include "rfade/stats/fading_metrics.hpp"
+#include "rfade/stats/histogram.hpp"
+#include "rfade/stats/ks_test.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/stats/moments.hpp"
+
+namespace {
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CVector;
+using numeric::RVector;
+
+TEST(RunningStats, KnownValues) {
+  stats::RunningStats acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  random::Rng rng(1);
+  stats::RunningStats all;
+  stats::RunningStats part1;
+  stats::RunningStats part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(1.0, 3.0);
+    all.add(x);
+    (i < 400 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), all.count());
+  EXPECT_NEAR(part1.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  stats::RunningStats a;
+  stats::RunningStats b;
+  a.add(5.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Moments, SpanHelpers) {
+  const RVector xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 1.25);
+  const CVector zs = {cdouble(3, 4), cdouble(0, 0)};
+  EXPECT_DOUBLE_EQ(stats::mean_power(zs), 12.5);
+}
+
+TEST(Moments, QuantileSorted) {
+  const RVector xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(stats::quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile_sorted(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(stats::quantile_sorted(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats::quantile_sorted(xs, 0.25), 2.0);
+  EXPECT_THROW((void)stats::quantile_sorted(xs, 1.5), ContractViolation);
+}
+
+TEST(Moments, PearsonCorrelation) {
+  const RVector a = {1.0, 2.0, 3.0, 4.0};
+  const RVector b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(stats::pearson_correlation(a, b), 1.0, 1e-12);
+  const RVector c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Covariance, KnownDeterministicVectors) {
+  stats::CovarianceAccumulator acc(2);
+  // Two deterministic draws: (1, i) and (1, -i).
+  acc.add(CVector{cdouble(1, 0), cdouble(0, 1)});
+  acc.add(CVector{cdouble(1, 0), cdouble(0, -1)});
+  const auto k = acc.covariance();
+  EXPECT_NEAR(k(0, 0).real(), 1.0, 1e-14);
+  EXPECT_NEAR(k(1, 1).real(), 1.0, 1e-14);
+  // E[z0 conj(z1)] = ((1)(-i) + (1)(i))/2 = 0.
+  EXPECT_NEAR(std::abs(k(0, 1)), 0.0, 1e-14);
+}
+
+TEST(Covariance, MergeEqualsConcatenation) {
+  random::Rng rng(3);
+  stats::CovarianceAccumulator all(3);
+  stats::CovarianceAccumulator a(3);
+  stats::CovarianceAccumulator b(3);
+  for (int i = 0; i < 500; ++i) {
+    CVector z(3);
+    for (auto& v : z) {
+      v = rng.complex_gaussian(1.0);
+    }
+    all.add(z);
+    (i % 2 == 0 ? a : b).add(z);
+  }
+  a.merge(b);
+  EXPECT_LT(numeric::max_abs_diff(a.covariance(), all.covariance()), 1e-12);
+}
+
+TEST(Covariance, CenteredSubtractsMean) {
+  stats::CovarianceAccumulator acc(1);
+  for (int i = 0; i < 100; ++i) {
+    acc.add(CVector{cdouble(5.0, 0.0)});  // constant
+  }
+  EXPECT_NEAR(acc.covariance()(0, 0).real(), 25.0, 1e-12);
+  EXPECT_NEAR(acc.covariance_centered()(0, 0).real(), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(acc.mean()[0] - cdouble(5, 0)), 0.0, 1e-12);
+}
+
+TEST(Covariance, RelativeFrobeniusError) {
+  const auto id = numeric::CMatrix::identity(2);
+  EXPECT_DOUBLE_EQ(stats::relative_frobenius_error(id, id), 0.0);
+  auto scaled = numeric::scale(id, cdouble(1.1, 0));
+  EXPECT_NEAR(stats::relative_frobenius_error(scaled, id), 0.1, 1e-12);
+}
+
+TEST(Autocorrelation, FftMatchesDirect) {
+  random::Rng rng(4);
+  CVector x(512);
+  for (auto& v : x) {
+    v = rng.complex_gaussian(2.0);
+  }
+  for (const auto mode :
+       {stats::AutocorrMode::Biased, stats::AutocorrMode::Unbiased}) {
+    const CVector fast = stats::autocorrelation(x, 60, mode);
+    const CVector slow = stats::autocorrelation_direct(x, 60, mode);
+    for (std::size_t d = 0; d <= 60; ++d) {
+      EXPECT_NEAR(std::abs(fast[d] - slow[d]), 0.0, 1e-10) << "lag " << d;
+    }
+  }
+}
+
+TEST(Autocorrelation, PureToneGivesCosineLikePhase) {
+  // x[l] = e^{i w l} has autocorrelation r[d] = e^{i w d} exactly.
+  const double w = 0.3;
+  CVector x(1024);
+  for (std::size_t l = 0; l < x.size(); ++l) {
+    x[l] = std::polar(1.0, w * static_cast<double>(l));
+  }
+  const CVector r =
+      stats::autocorrelation(x, 20, stats::AutocorrMode::Unbiased);
+  for (std::size_t d = 0; d <= 20; ++d) {
+    EXPECT_NEAR(std::abs(r[d] - std::polar(1.0, w * double(d))), 0.0, 1e-9);
+  }
+}
+
+TEST(Autocorrelation, NormalizedStartsAtOne) {
+  random::Rng rng(5);
+  CVector x(256);
+  for (auto& v : x) {
+    v = rng.complex_gaussian(1.0);
+  }
+  const RVector rho = stats::normalized_autocorrelation(x, 10);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  EXPECT_THROW((void)stats::autocorrelation(x, 256), ContractViolation);
+}
+
+TEST(Distributions, RayleighMomentsAndQuantiles) {
+  const stats::RayleighDistribution r(2.0);
+  EXPECT_NEAR(r.mean(), 2.0 * std::sqrt(M_PI / 2.0), 1e-12);
+  EXPECT_NEAR(r.variance(), (2.0 - M_PI / 2.0) * 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.cdf(0.0), 0.0);
+  EXPECT_NEAR(r.cdf(r.quantile(0.3)), 0.3, 1e-12);
+  EXPECT_NEAR(r.cdf(r.quantile(0.99)), 0.99, 1e-12);
+  // Median = sigma sqrt(2 ln 2).
+  EXPECT_NEAR(r.quantile(0.5), 2.0 * std::sqrt(2.0 * std::log(2.0)), 1e-12);
+  // pdf integrates to cdf (spot check by finite difference).
+  const double h = 1e-6;
+  EXPECT_NEAR((r.cdf(1.0 + h) - r.cdf(1.0 - h)) / (2 * h), r.pdf(1.0), 1e-6);
+}
+
+TEST(Distributions, RayleighFromGaussianPowerMatchesPaperConstants) {
+  // Paper Eqs. (14)-(15): E{r} = 0.8862 sigma_g, Var{r} = 0.2146 sigma_g^2.
+  const double sigma_g2 = 3.0;
+  const auto r = stats::RayleighDistribution::from_gaussian_power(sigma_g2);
+  EXPECT_NEAR(r.mean(), 0.8862 * std::sqrt(sigma_g2), 1e-4);
+  EXPECT_NEAR(r.variance(), 0.2146 * sigma_g2, 1e-4);
+}
+
+TEST(Distributions, NormalAndExponential) {
+  EXPECT_NEAR(stats::normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(stats::normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(stats::normal_cdf(2.0, 2.0, 5.0), 0.5, 1e-15);
+  EXPECT_NEAR(stats::exponential_cdf(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-14);
+  EXPECT_DOUBLE_EQ(stats::exponential_cdf(-1.0, 1.0), 0.0);
+}
+
+TEST(KsTest, AcceptsCorrectDistribution) {
+  random::Rng rng(6);
+  const auto rayleigh = stats::RayleighDistribution::from_gaussian_power(1.0);
+  RVector samples(20000);
+  for (auto& s : samples) {
+    s = std::abs(rng.complex_gaussian(1.0));
+  }
+  const auto result =
+      stats::ks_test(samples, [&](double x) { return rayleigh.cdf(x); });
+  EXPECT_GT(result.p_value, 1e-3);
+  EXPECT_LT(result.statistic, 0.02);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  random::Rng rng(7);
+  RVector samples(20000);
+  for (auto& s : samples) {
+    s = std::abs(rng.complex_gaussian(1.0));  // Rayleigh(sigma_g^2 = 1)
+  }
+  // Test against a Rayleigh with twice the power: must reject hard.
+  const auto wrong = stats::RayleighDistribution::from_gaussian_power(2.0);
+  const auto result =
+      stats::ks_test(samples, [&](double x) { return wrong.cdf(x); });
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(KsTest, TwoSample) {
+  random::Rng rng(8);
+  RVector a(5000);
+  RVector b(5000);
+  RVector c(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.gaussian();
+    b[i] = rng.gaussian();
+    c[i] = rng.gaussian() + 1.0;  // shifted
+  }
+  EXPECT_LT(stats::ks_two_sample_statistic(a, b), 0.05);
+  EXPECT_GT(stats::ks_two_sample_statistic(a, c), 0.3);
+}
+
+TEST(ChiSquareGof, AcceptsAndRejects) {
+  random::Rng rng(9);
+  const auto rayleigh = stats::RayleighDistribution::from_gaussian_power(1.0);
+  RVector samples(20000);
+  for (auto& s : samples) {
+    s = std::abs(rng.complex_gaussian(1.0));
+  }
+  const auto good = stats::chi_square_gof(
+      samples, [&](double p) { return rayleigh.quantile(p); }, 32);
+  EXPECT_EQ(good.dof, 31u);
+  EXPECT_GT(good.p_value, 1e-3);
+
+  const auto wrong = stats::RayleighDistribution::from_gaussian_power(1.5);
+  const auto bad = stats::chi_square_gof(
+      samples, [&](double p) { return wrong.quantile(p); }, 32);
+  EXPECT_LT(bad.p_value, 1e-10);
+
+  EXPECT_THROW((void)stats::chi_square_gof(
+                   RVector(10), [](double p) { return p; }, 8),
+               ContractViolation);
+}
+
+TEST(Histogram, CountsAndDensity) {
+  stats::Histogram h(0.0, 10.0, 10);
+  for (double x = 0.5; x < 10.0; x += 1.0) {
+    h.add(x);
+  }
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_NEAR(h.density(b), 0.1, 1e-12);
+    EXPECT_NEAR(h.center(b), 0.5 + double(b), 1e-12);
+  }
+  // Out-of-range values clamp to edge bins.
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+}
+
+TEST(FadingMetrics, TheoreticalFormulas) {
+  // Peak of LCR at rho = 1/sqrt(2).
+  const double fd = 50.0;
+  const double lcr_peak = stats::theoretical_lcr(1.0 / std::sqrt(2.0), fd);
+  EXPECT_GT(lcr_peak, stats::theoretical_lcr(0.1, fd));
+  EXPECT_GT(lcr_peak, stats::theoretical_lcr(2.0, fd));
+  // AFD at rho=1: (e - 1)/(fd sqrt(2 pi)).
+  EXPECT_NEAR(stats::theoretical_afd(1.0, fd),
+              (std::exp(1.0) - 1.0) / (fd * std::sqrt(2.0 * M_PI)), 1e-12);
+}
+
+TEST(FadingMetrics, MeasuredOnSyntheticTrace) {
+  // Envelope = |sin|: crosses 0.5 upward twice per period of 100 samples.
+  RVector envelope(10000);
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    envelope[i] = std::abs(std::sin(2.0 * M_PI * double(i) / 100.0)) + 0.01;
+  }
+  const auto metrics = stats::measure_fading_metrics(envelope, 0.5, 1000.0);
+  // 10000 samples at 1 kHz = 10 s; 100 periods => 200 up-crossings => 20/s.
+  EXPECT_NEAR(metrics.level_crossing_rate, 20.0, 1.0);
+  EXPECT_GT(metrics.average_fade_duration, 0.0);
+  EXPECT_EQ(metrics.crossings, 200u);
+}
+
+TEST(FadingMetrics, Rms) {
+  EXPECT_DOUBLE_EQ(stats::rms(RVector{3.0, 4.0, 3.0, 4.0}),
+                   std::sqrt(12.5));
+  EXPECT_THROW((void)stats::rms(RVector{}), ContractViolation);
+}
+
+}  // namespace

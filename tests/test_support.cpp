@@ -1,0 +1,219 @@
+// Tests for the support module: contracts, thread pool, deterministic
+// parallel-for, CSV/table emission, CLI parsing, timers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "rfade/support/cli.hpp"
+#include "rfade/support/contracts.hpp"
+#include "rfade/support/csv.hpp"
+#include "rfade/support/parallel.hpp"
+#include "rfade/support/table.hpp"
+#include "rfade/support/thread_pool.hpp"
+#include "rfade/support/timer.hpp"
+
+namespace {
+
+using namespace rfade;
+using namespace rfade::support;
+
+TEST(Contracts, ExpectsThrowsWithContext) {
+  try {
+    RFADE_EXPECTS(1 == 2, "one is not two");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrows) {
+  EXPECT_THROW(RFADE_ENSURES(false, "post"), ContractViolation);
+  EXPECT_NO_THROW(RFADE_ENSURES(true, "post"));
+}
+
+TEST(ErrorHierarchy, AllDeriveFromError) {
+  EXPECT_THROW(throw DimensionError("d"), Error);
+  EXPECT_THROW(throw ValueError("v"), Error);
+  EXPECT_THROW(throw ConvergenceError("c"), Error);
+  EXPECT_THROW(throw NotPositiveDefiniteError("n"), Error);
+  EXPECT_THROW(throw ContractViolation("cv"), Error);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw ValueError("boom"); });
+  EXPECT_THROW(f.get(), ValueError);
+}
+
+TEST(ThreadPool, GlobalPoolIsShared) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunked(
+      1000,
+      [&hits](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++hits[i];
+        }
+      },
+      {.chunk_size = 64, .serial = false});
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfSerialFlag) {
+  // Chunk decomposition must be a pure function of (n, chunk_size).
+  auto collect = [](bool serial) {
+    std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> chunks;
+    std::mutex m;
+    parallel_for_chunked(
+        1003,
+        [&](std::size_t begin, std::size_t end, std::size_t index) {
+          const std::lock_guard<std::mutex> lock(m);
+          chunks.emplace_back(begin, end, index);
+        },
+        {.chunk_size = 100, .serial = serial});
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(true), collect(false));
+}
+
+TEST(ParallelFor, ChunkCountMatches) {
+  EXPECT_EQ(chunk_count(0, {.chunk_size = 10, .serial = false}), 0u);
+  EXPECT_EQ(chunk_count(10, {.chunk_size = 10, .serial = false}), 1u);
+  EXPECT_EQ(chunk_count(11, {.chunk_size = 10, .serial = false}), 2u);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for_chunked(
+          100,
+          [](std::size_t begin, std::size_t, std::size_t) {
+            if (begin == 32) {
+              throw ValueError("chunk failure");
+            }
+          },
+          {.chunk_size = 16, .serial = false}),
+      ValueError);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for_chunked(
+      0, [&called](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Csv, WritesRowsAndFormats) {
+  const std::string path = testing::TempDir() + "rfade_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b"});
+    csv.write_numeric_row({1.5, -2.25});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1.5,-2.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FormatsComplex) {
+  EXPECT_EQ(CsvWriter::format(std::complex<double>(1.5, -0.5)), "1.5-0.5i");
+  EXPECT_EQ(CsvWriter::format(std::complex<double>(0.0, 2.0)), "0+2i");
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table("demo");
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "2.5"});
+  const std::string rendered = table.str();
+  EXPECT_NE(rendered.find("== demo =="), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(scientific(12345.0, 2), "1.23e+04");
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--samples", "100", "--fm=0.05", "--verbose"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.get_size("samples", 0), 100u);
+  EXPECT_DOUBLE_EQ(args.get_double("fm", 0.0), 0.05);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("absent"));
+  EXPECT_EQ(args.get("absent", "fallback"), "fallback");
+}
+
+TEST(Cli, RejectsPositionalAndMalformed) {
+  const char* argv_bad[] = {"prog", "positional"};
+  EXPECT_THROW(ArgParser(2, argv_bad), Error);
+
+  const char* argv_num[] = {"prog", "--x", "notanumber"};
+  const ArgParser args(3, argv_num);
+  EXPECT_THROW((void)args.get_double("x", 0.0), ValueError);
+  EXPECT_THROW((void)args.get_size("x", 0), ValueError);
+}
+
+TEST(Cli, RejectsNegativeSize) {
+  const char* argv[] = {"prog", "--n", "-5"};
+  const ArgParser args(3, argv);
+  EXPECT_THROW((void)args.get_size("n", 0), ValueError);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  const double t0 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  // Monotone non-decreasing.
+  EXPECT_GE(timer.seconds(), t0);
+  EXPECT_GE(timer.milliseconds(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
