@@ -1,8 +1,14 @@
 // Experiment E10 — generation throughput and parallel scaling (the IPDPS
-// context of the venue): instant-mode draws/s vs N, real-time block
-// generation vs M, and strong scaling of the deterministic parallel
-// Monte-Carlo validation harness vs thread count (serial baseline vs the
-// chunked thread-pool fan-out).
+// context of the venue): instant-mode draws/s vs N, the seed per-sample
+// path vs the batched SamplePipeline paths at matched (N, block) configs
+// (PerSampleBlockBaseline vs BatchedBlockSerial vs BatchedStreamParallel),
+// real-time block generation vs M, and strong scaling of the deterministic
+// parallel Monte-Carlo validation harness (serial baseline vs the chunked
+// thread-pool fan-out).
+//
+// Smoke mode for CI: pass --benchmark_min_time=0.05 (and optionally
+// --benchmark_filter) to keep the run short while still exercising every
+// path.
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +45,70 @@ void InstantModeSample(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(InstantModeSample)->RangeMultiplier(2)->Range(2, 64);
+
+// --- the headline comparison: seed per-sample path vs the batched +
+// multi-threaded SamplePipeline paths, at matched (N, block) configs.
+// Throughput is items/s where one item is one N-vector draw; compare
+// PerSampleBlockBaseline vs BatchedStreamParallel at the same arguments.
+
+void PerSampleBlockBaseline(benchmark::State& state) {
+  // The seed hot loop: one streaming matvec per draw, serial.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  const core::EnvelopeGenerator gen(tridiagonal_covariance(n));
+  random::Rng rng(0xE10A);
+  numeric::CVector z(n);
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < block; ++t) {
+      gen.sample_into(rng, z);
+    }
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+  state.SetLabel("seed per-sample");
+}
+BENCHMARK(PerSampleBlockBaseline)
+    ->ArgsProduct({{8, 16, 32, 64}, {4096, 16384}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BatchedBlockSerial(benchmark::State& state) {
+  // Batched draw + blocked GEMM, single thread, per-draw-compatible rng.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  const core::EnvelopeGenerator gen(tridiagonal_covariance(n));
+  random::Rng rng(0xE10A);
+  for (auto _ : state) {
+    const CMatrix z = gen.sample_block(block, rng);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+  state.SetLabel("batched, rng-compatible");
+}
+BENCHMARK(BatchedBlockSerial)
+    ->ArgsProduct({{8, 16, 32, 64}, {4096, 16384}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BatchedStreamParallel(benchmark::State& state) {
+  // The throughput path: bulk Philox substreams + planar GEMM, blocks
+  // fanned over the global thread pool (deterministic for any count).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  const core::EnvelopeGenerator gen(tridiagonal_covariance(n));
+  std::uint64_t seed = 0xE10B;
+  for (auto _ : state) {
+    const CMatrix z = gen.sample_stream(block, seed++);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+  state.SetLabel("batched + thread pool");
+}
+BENCHMARK(BatchedStreamParallel)
+    ->ArgsProduct({{8, 16, 32, 64}, {4096, 16384}})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 void GeneratorConstruction(benchmark::State& state) {
   // Coloring cost (eigendecomposition) as N grows.

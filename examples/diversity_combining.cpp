@@ -18,7 +18,6 @@
 #include "rfade/channel/spatial.hpp"
 #include "rfade/core/generator.hpp"
 #include "rfade/numeric/matrix_ops.hpp"
-#include "rfade/random/rng.hpp"
 #include "rfade/support/cli.hpp"
 #include "rfade/support/table.hpp"
 
@@ -26,18 +25,21 @@ using namespace rfade;
 
 namespace {
 
-/// Empirical P[max_j r_j < threshold] under a given covariance.
-double sc_outage(const core::EnvelopeGenerator& gen, double threshold,
-                 std::size_t samples, std::uint64_t seed) {
-  random::Rng rng(seed);
+/// Empirical P[max_j r_j < threshold] under a given covariance, computed
+/// over one deterministic batched envelope stream (thread-pool parallel,
+/// bit-identical for any thread count).
+double sc_outage(const numeric::RMatrix& envelopes, double threshold) {
   std::size_t outages = 0;
-  for (std::size_t t = 0; t < samples; ++t) {
-    const auto r = gen.sample_envelopes(rng);
-    if (*std::max_element(r.begin(), r.end()) < threshold) {
+  for (std::size_t t = 0; t < envelopes.rows(); ++t) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < envelopes.cols(); ++j) {
+      best = std::max(best, envelopes(t, j));
+    }
+    if (best < threshold) {
       ++outages;
     }
   }
-  return double(outages) / double(samples);
+  return double(outages) / double(envelopes.rows());
 }
 
 }  // namespace
@@ -52,6 +54,10 @@ int main(int argc, char** argv) {
   const numeric::CMatrix k_indep = numeric::CMatrix::identity(3);
   const core::EnvelopeGenerator correlated(k_corr);
   const core::EnvelopeGenerator independent(k_indep);
+  const numeric::RMatrix env_corr =
+      correlated.pipeline().sample_envelope_stream(samples, 0xD100);
+  const numeric::RMatrix env_indep =
+      independent.pipeline().sample_envelope_stream(samples, 0xD101);
 
   support::TablePrinter table(
       "selection-combining outage: correlated (Eq. 23) vs independent");
@@ -61,8 +67,8 @@ int main(int argc, char** argv) {
     const double threshold = std::pow(10.0, db / 20.0);  // RMS = sigma_g = 1
     // Single branch: P[r < t] = 1 - exp(-t^2) for sigma_g^2 = 1.
     const double single = 1.0 - std::exp(-threshold * threshold);
-    const double corr = sc_outage(correlated, threshold, samples, 0xD100);
-    const double indep = sc_outage(independent, threshold, samples, 0xD101);
+    const double corr = sc_outage(env_corr, threshold);
+    const double indep = sc_outage(env_indep, threshold);
     table.add_row({support::fixed(db, 0), support::scientific(single),
                    support::scientific(corr), support::scientific(indep),
                    corr > 0 ? support::fixed(indep / corr, 3) : "n/a"});

@@ -13,7 +13,6 @@
 #include "rfade/core/covariance_spec.hpp"
 #include "rfade/core/generator.hpp"
 #include "rfade/core/power.hpp"
-#include "rfade/random/rng.hpp"
 #include "rfade/stats/moments.hpp"
 #include "rfade/support/cli.hpp"
 #include "rfade/support/table.hpp"
@@ -42,13 +41,15 @@ int main(int argc, char** argv) {
   const numeric::CMatrix k = builder.build();
 
   const core::EnvelopeGenerator generator(k);
-  random::Rng rng(0x0E0);
 
+  // Batched + thread-pool path: one deterministic envelope stream instead
+  // of a per-draw loop (bit-identical for any thread count).
+  const numeric::RMatrix envelopes =
+      generator.pipeline().sample_envelope_stream(samples, 0x0E0);
   std::vector<stats::RunningStats> env(3);
-  for (std::size_t t = 0; t < samples; ++t) {
-    const auto r = generator.sample_envelopes(rng);
+  for (std::size_t t = 0; t < envelopes.rows(); ++t) {
     for (std::size_t j = 0; j < 3; ++j) {
-      env[j].add(r[j]);
+      env[j].add(envelopes(t, j));
     }
   }
 

@@ -17,6 +17,7 @@
 ///     envelope powers are off by sigma_g^2 / (2 sigma_orig^2) — orders of
 ///     magnitude (experiment E7).
 
+#include "rfade/core/plan.hpp"
 #include "rfade/core/psd.hpp"
 #include "rfade/doppler/idft_generator.hpp"
 #include "rfade/numeric/matrix.hpp"
@@ -39,7 +40,7 @@ class SorooshyariDautGenerator {
 
   /// The epsilon-forced covariance actually colored.
   [[nodiscard]] const numeric::CMatrix& forced_covariance() const noexcept {
-    return forced_;
+    return pipeline_.plan().desired_covariance();
   }
 
   /// Frobenius distance ||K_forced - K||_F of the epsilon forcing.
@@ -49,9 +50,8 @@ class SorooshyariDautGenerator {
 
  private:
   std::size_t dim_;
-  numeric::CMatrix forced_;
-  numeric::CMatrix coloring_;
   double forcing_distance_ = 0.0;
+  core::SamplePipeline pipeline_;
 };
 
 /// Real-time combination of [6] with IDFT Doppler branches — reproduces
@@ -85,7 +85,7 @@ class SorooshyariDautRealTime {
 
  private:
   std::size_t dim_;
-  numeric::CMatrix coloring_;
+  core::SamplePipeline pipeline_;
   doppler::IdftRayleighBranch branch_;
   double assumed_variance_;
 };

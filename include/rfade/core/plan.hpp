@@ -1,0 +1,214 @@
+#pragma once
+
+/// \file plan.hpp
+/// \brief The shared coloring plan + sampling pipeline every generator is
+///        built on (paper Sec. 4.2-4.5, steps 1-7).
+///
+/// The paper's algorithm factors into two halves with very different cost
+/// profiles:
+///
+///   *build once*  — steps 1-5: assemble the desired covariance K
+///                   (covariance_spec.hpp / channel models), force it PSD
+///                   (step 3, Sec. 4.2) and compute the coloring matrix
+///                   L = V sqrt(Lambda_hat) (steps 4-5, Sec. 4.3).
+///                   `ColoringPlan` captures all of this immutably.
+///
+///   *draw many*   — steps 6-7: sample i.i.d. CN(0, sigma_w^2) vectors W
+///                   and emit Z = L W / sigma_w.  `SamplePipeline` executes
+///                   draws against a plan: per-draw for callbacks and
+///                   real-time coloring, or batched — a whole block of W
+///                   colored with one blocked GEMM (numeric::multiply_block)
+///                   and fanned over the thread pool with counter-based
+///                   per-block Philox substreams (random::block_substream),
+///                   so results are bit-identical for any thread count.
+///
+/// One plan can feed any number of pipelines and generators
+/// (EnvelopeGenerator, RealTimeGenerator, the baselines' block coloring),
+/// which is what makes plan construction — the only expensive part — a
+/// one-time cost per scenario.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "rfade/core/coloring.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::core {
+
+/// Immutable product of the algorithm's build phase (steps 1-5): the PSD
+/// forcing, the coloring factor and all diagnostics, computed once from a
+/// desired covariance matrix and shared (by shared_ptr) between every
+/// pipeline and generator that draws against it.
+class ColoringPlan {
+ public:
+  /// Build a plan from the desired covariance K of Eqs. (12)-(13).
+  /// \throws ContractViolation when K is not a valid covariance matrix;
+  ///         NotPositiveDefiniteError when Cholesky coloring is requested
+  ///         on a non-PD K.
+  [[nodiscard]] static std::shared_ptr<const ColoringPlan> create(
+      numeric::CMatrix desired_covariance, ColoringOptions options = {});
+
+  /// Number of envelopes N.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// The K the caller asked for.
+  [[nodiscard]] const numeric::CMatrix& desired_covariance() const noexcept {
+    return desired_;
+  }
+
+  /// K_bar = L L^H, the covariance actually realised (== desired K when
+  /// that was PSD).
+  [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
+    return coloring_.effective_covariance;
+  }
+
+  /// The coloring matrix L.
+  [[nodiscard]] const numeric::CMatrix& coloring_matrix() const noexcept {
+    return coloring_.matrix;
+  }
+
+  /// L^T (not conjugated), precomputed for the blocked right-multiply
+  /// Z_block = W_block * L^T used by the batched draw paths.
+  [[nodiscard]] const numeric::CMatrix& coloring_matrix_transposed()
+      const noexcept {
+    return coloring_transposed_;
+  }
+
+  /// Split re/im planes of L^T (each N x N row-major) feeding the
+  /// vectorized planar GEMM (numeric::multiply_block_planar).
+  [[nodiscard]] const numeric::RVector& coloring_transposed_re()
+      const noexcept {
+    return coloring_transposed_re_;
+  }
+  [[nodiscard]] const numeric::RVector& coloring_transposed_im()
+      const noexcept {
+    return coloring_transposed_im_;
+  }
+
+  /// Full coloring diagnostics (PSD forcing report etc.).
+  [[nodiscard]] const ColoringResult& coloring() const noexcept {
+    return coloring_;
+  }
+
+ private:
+  ColoringPlan(numeric::CMatrix desired, const ColoringOptions& options);
+
+  std::size_t dim_;
+  numeric::CMatrix desired_;
+  ColoringResult coloring_;
+  numeric::CMatrix coloring_transposed_;
+  numeric::RVector coloring_transposed_re_;
+  numeric::RVector coloring_transposed_im_;
+};
+
+/// Options for SamplePipeline.
+struct PipelineOptions {
+  /// Variance sigma_w^2 of the i.i.d. complex Gaussians in step 6.  The
+  /// algorithm divides it back out, so any positive value yields identical
+  /// statistics; it is kept configurable to mirror the paper exactly.
+  double sample_variance = 1.0;
+  /// Rows per block in the batched paths; also the work-unit handed to the
+  /// thread pool by sample_stream (and the granularity of the per-block
+  /// Philox substreams, so changing it changes the stream's bit pattern).
+  std::size_t block_size = 4096;
+  /// Fan sample_stream blocks over support::ThreadPool::global().  The
+  /// result is bit-identical either way — substreams are keyed by block
+  /// index, never by thread.
+  bool parallel = true;
+};
+
+/// Executor of the algorithm's draw phase (steps 6-7) against a shared
+/// ColoringPlan.  Cheap to construct; holds only the plan handle and
+/// normalisation constants.
+class SamplePipeline {
+ public:
+  explicit SamplePipeline(std::shared_ptr<const ColoringPlan> plan,
+                          PipelineOptions options = {});
+
+  [[nodiscard]] const ColoringPlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] const std::shared_ptr<const ColoringPlan>& plan_handle()
+      const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return plan_->dimension();
+  }
+  [[nodiscard]] const PipelineOptions& options() const noexcept {
+    return options_;
+  }
+
+  // --- per-draw path (steps 6-7, one time instant) -------------------------
+
+  /// Write one draw Z = L W / sigma_w into \p out (size N).
+  void sample_into(random::Rng& rng, std::span<numeric::cdouble> out) const;
+
+  /// One draw of N correlated complex Gaussians.
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+
+  /// One draw of the envelopes r_j = |z_j|.
+  [[nodiscard]] numeric::RVector sample_envelopes(random::Rng& rng) const;
+
+  // --- batched paths --------------------------------------------------------
+
+  /// \p count draws stacked row-wise into a count x N matrix.  Consumes
+  /// \p rng in exactly the per-draw order (row-major W), and the blocked
+  /// GEMM accumulates in matvec order — the result is bit-identical to
+  /// calling sample_into count times.
+  [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
+                                              random::Rng& rng) const;
+
+  /// One deterministic block keyed by (\p seed, \p block_index): the i.i.d.
+  /// draws are the Philox bulk substream (seed, block_index + 1) of
+  /// random::fill_complex_gaussians_planar — a pure function of the key,
+  /// so any block of a logical stream can be (re)generated independently,
+  /// in any order, on any thread.  This is the throughput path: planar
+  /// vectorized RNG + planar GEMM; statistically identical to the per-draw
+  /// path but its own bit-stream.  Invariant to options().sample_variance
+  /// (the sigma_w of step 6 cancels exactly, so the batched path draws at
+  /// unit variance directly).
+  [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
+                                              std::uint64_t seed,
+                                              std::uint64_t block_index) const;
+
+  /// \p count draws as a count x N matrix, generated block-by-block
+  /// (options().block_size rows per block, per-block substreams of \p seed)
+  /// and fanned over the global thread pool when options().parallel.
+  /// Bit-identical for any thread count, including serial.
+  [[nodiscard]] numeric::CMatrix sample_stream(std::size_t count,
+                                               std::uint64_t seed) const;
+
+  /// Envelope moduli of sample_stream: count x N real matrix.
+  [[nodiscard]] numeric::RMatrix sample_envelope_stream(
+      std::size_t count, std::uint64_t seed) const;
+
+  // --- shared coloring of externally-drawn W --------------------------------
+
+  /// Color a block of externally-generated white vectors (rows of \p w,
+  /// count x N): out = (w / sqrt(variance)) * L^T.  This is the Sec. 5
+  /// step 6-8 normalisation + coloring used by the real-time generators;
+  /// \p variance is the (assumed) per-branch complex variance divided out.
+  /// variance == 1.0 (input already normalised) skips the scaling pass and
+  /// colors straight from \p w.
+  [[nodiscard]] numeric::CMatrix color_block(const numeric::CMatrix& w,
+                                             double variance) const;
+
+ private:
+  /// Draw `rows` white vectors scaled by 1/sigma_w from \p rng and color
+  /// them into `out` (row-major, `rows` x N, caller-owned).  Per-draw
+  /// bit-compatible path.
+  void fill_colored_rows(random::Rng& rng, std::size_t rows,
+                         numeric::cdouble* out) const;
+
+  /// Bulk throughput path: rows x N colored draws of logical block
+  /// \p block_index of the stream keyed by \p seed, written to `out`.
+  void fill_colored_rows_bulk(std::uint64_t seed, std::uint64_t block_index,
+                              std::size_t rows, numeric::cdouble* out) const;
+
+  std::shared_ptr<const ColoringPlan> plan_;
+  PipelineOptions options_;
+  double inv_sigma_w_;
+};
+
+}  // namespace rfade::core

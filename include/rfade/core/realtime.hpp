@@ -7,7 +7,13 @@
 /// N Young-Beaulieu IDFT branches (Fig. 2) produce temporally-correlated
 /// complex Gaussians u_j[l]; at each time instant l the vector
 /// W_l = (u_1[l], ..., u_N[l])^T is colored exactly as in the instant-mode
-/// algorithm: Z_l = L W_l / sigma_g.
+/// algorithm: Z_l = L W_l / sigma_g.  Both halves run on the shared plan
+/// layer (plan.hpp): the coloring factor comes from a (shareable)
+/// ColoringPlan, and the per-block normalisation + coloring is
+/// SamplePipeline::color_block — one blocked GEMM over the whole M x N
+/// block.  Branch spectra are drawn in a fixed serial order (reproducible
+/// for any thread count) and the N IDFTs are synthesized in parallel on
+/// the global thread pool.
 ///
 /// The decisive detail — the paper's fix over Sorooshyari-Daut [6] — is
 /// *which* sigma_g^2 the division uses:
@@ -19,7 +25,9 @@
 ///     ignores the gain of the Doppler filter and mis-scales every envelope
 ///     by the same large factor.
 
-#include "rfade/core/coloring.hpp"
+#include <memory>
+
+#include "rfade/core/plan.hpp"
 #include "rfade/doppler/idft_generator.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
@@ -42,6 +50,9 @@ struct RealTimeOptions {
   double input_variance_per_dim = 0.5;
   VarianceHandling variance_handling = VarianceHandling::AnalyticCorrection;
   ColoringOptions coloring;
+  /// Synthesize the N branch IDFTs concurrently on the global thread pool.
+  /// Output is bit-identical either way (spectra are drawn serially).
+  bool parallel_branches = true;
 };
 
 /// Generator of N jointly-correlated, temporally-Doppler-faded envelopes.
@@ -51,8 +62,15 @@ class RealTimeGenerator {
   RealTimeGenerator(numeric::CMatrix desired_covariance,
                     RealTimeOptions options = {});
 
+  /// Share an existing plan instead of recomputing the coloring;
+  /// options.coloring is ignored.
+  RealTimeGenerator(std::shared_ptr<const ColoringPlan> plan,
+                    RealTimeOptions options = {});
+
   /// Number of envelopes N.
-  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return pipeline_.dimension();
+  }
 
   /// Block length M.
   [[nodiscard]] std::size_t block_size() const noexcept {
@@ -79,12 +97,18 @@ class RealTimeGenerator {
 
   /// K_bar = L L^H.
   [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
-    return coloring_.effective_covariance;
+    return pipeline_.plan().effective_covariance();
   }
 
   /// Coloring diagnostics.
   [[nodiscard]] const ColoringResult& coloring() const noexcept {
-    return coloring_;
+    return pipeline_.plan().coloring();
+  }
+
+  /// The shared build-phase plan.
+  [[nodiscard]] const std::shared_ptr<const ColoringPlan>& plan()
+      const noexcept {
+    return pipeline_.plan_handle();
   }
 
   /// The shared branch design (all N branches use the same filter).
@@ -93,11 +117,10 @@ class RealTimeGenerator {
   }
 
  private:
-  std::size_t dim_;
-  numeric::CMatrix desired_;
-  ColoringResult coloring_;
+  SamplePipeline pipeline_;
   doppler::IdftRayleighBranch branch_;
   double assumed_variance_;
+  bool parallel_branches_;
 };
 
 }  // namespace rfade::core

@@ -31,6 +31,17 @@ class IdftRayleighBranch {
   /// Generate one block of M complex Gaussian samples u[0..M-1].
   [[nodiscard]] numeric::CVector generate_block(random::Rng& rng) const;
 
+  /// The stochastic half of generate_block: draw the weighted spectrum
+  /// U[k] = F[k](A[k] - i B[k]).  This is the only part that consumes
+  /// \p rng, so callers generating many branches can draw all spectra in a
+  /// fixed serial order and synthesize them concurrently.
+  [[nodiscard]] numeric::CVector draw_spectrum(random::Rng& rng) const;
+
+  /// The deterministic half: u = IDFT(spectrum).  Pure (no rng, no mutable
+  /// state) — safe to run on any thread.
+  [[nodiscard]] numeric::CVector synthesize(
+      const numeric::CVector& spectrum) const;
+
   /// Envelope |u| of one generated block.
   [[nodiscard]] numeric::RVector generate_envelope_block(
       random::Rng& rng) const;

@@ -57,6 +57,35 @@ namespace rfade::numeric {
 /// Eq. (10)).
 [[nodiscard]] CMatrix gram(const CMatrix& l);
 
+// --- batched (blocked) products ---------------------------------------------
+
+/// Raw kernel behind multiply_block: c = a * b with a (m x k), b (k x n) and
+/// c (m x n), all dense row-major.  The accumulation over k is strictly
+/// ascending for every output element, so the result is bit-identical to a
+/// naive dot product (and hence to the per-sample matvec loops it replaces);
+/// the loop nest is row-tiled so one tile of c and one row of b stay
+/// cache-resident while a is streamed.  \p c must not alias \p a or \p b.
+void multiply_block_raw(const cdouble* a, std::size_t m, std::size_t k,
+                        const cdouble* b, std::size_t n, cdouble* c);
+
+/// out = a * b via the blocked kernel; \p out is resized/overwritten.
+void multiply_block_into(const CMatrix& a, const CMatrix& b, CMatrix& out);
+
+/// Blocked GEMM a * b — same contract (and bit pattern) as multiply(a, b),
+/// but tiled for block-of-draws workloads where a has thousands of rows.
+[[nodiscard]] CMatrix multiply_block(const CMatrix& a, const CMatrix& b);
+
+/// Planar-operand variant of multiply_block_raw: a is given as split
+/// real/imaginary planes a_re/a_im (each m x k row-major), b as planes
+/// b_re/b_im (each k x n), and c is written interleaved (m x n complex,
+/// row-major).  Same ascending-k accumulation — bit-identical to the
+/// std::complex kernels — but the four plane updates are independent
+/// stride-1 loops the compiler can vectorize without the complex-multiply
+/// NaN-recovery branch.  \p c must not alias any input plane.
+void multiply_block_planar(const double* a_re, const double* a_im,
+                           std::size_t m, std::size_t k, const double* b_re,
+                           const double* b_im, std::size_t n, cdouble* c);
+
 /// Trace of a square matrix.
 [[nodiscard]] cdouble trace(const CMatrix& a);
 

@@ -16,6 +16,43 @@
 
 namespace rfade::random {
 
+namespace detail {
+
+// Philox4x32 round constants (Salmon et al., SC'11, Table 2).
+inline constexpr std::uint32_t kPhiloxMult0 = 0xD2511F53u;
+inline constexpr std::uint32_t kPhiloxMult1 = 0xCD9E8D57u;
+inline constexpr std::uint32_t kPhiloxWeyl0 = 0x9E3779B9u;  // golden ratio
+inline constexpr std::uint32_t kPhiloxWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr,
+                         const std::array<std::uint32_t, 2>& key) {
+  const std::uint64_t product0 =
+      static_cast<std::uint64_t>(kPhiloxMult0) * ctr[0];
+  const std::uint64_t product1 =
+      static_cast<std::uint64_t>(kPhiloxMult1) * ctr[2];
+  const auto hi0 = static_cast<std::uint32_t>(product0 >> 32);
+  const auto lo0 = static_cast<std::uint32_t>(product0);
+  const auto hi1 = static_cast<std::uint32_t>(product1 >> 32);
+  const auto lo1 = static_cast<std::uint32_t>(product1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+/// The keyed Philox4x32-10 block function, inline so bulk kernels
+/// (random/bulk_gaussian.cpp) pay no call per counter block.
+inline std::array<std::uint32_t, 4> philox_block(
+    std::array<std::uint32_t, 2> key, std::array<std::uint32_t, 4> counter) {
+  for (int round = 0; round < 10; ++round) {
+    if (round > 0) {
+      key[0] += kPhiloxWeyl0;
+      key[1] += kPhiloxWeyl1;
+    }
+    philox_round(counter, key);
+  }
+  return counter;
+}
+
+}  // namespace detail
+
 /// Philox4x32 with 10 rounds.
 class PhiloxEngine final : public RandomEngine {
  public:

@@ -79,4 +79,15 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// Counter-based per-block substream: a Philox generator keyed by
+/// (\p seed, \p block_index + 1).  Philox streams occupy disjoint counter
+/// spaces, so every block's randomness is independent of every other
+/// block's *and* of the order blocks are generated in — the property the
+/// batched SamplePipeline paths rely on for thread-count-independent
+/// determinism.  The +1 keeps block streams disjoint from the default
+/// stream 0 of a root `Rng(seed)`.
+[[nodiscard]] Rng block_substream(
+    std::uint64_t seed, std::uint64_t block_index,
+    GaussianAlgorithm algorithm = GaussianAlgorithm::BoxMuller);
+
 }  // namespace rfade::random

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file simd.hpp
+/// \brief Function-multiversioning helper for the batched hot-path kernels.
+///
+/// RFADE_TARGET_CLONES_AVX2 compiles the annotated function twice — a
+/// baseline-ISA version and an AVX2 version — and lets the dynamic loader
+/// (ifunc) pick at startup.  The AVX2 clone deliberately does *not* enable
+/// FMA: fused contraction would change the bit pattern of the planar GEMM
+/// against the std::complex reference kernels, and the hot paths promise
+/// bit-identical results across code paths.  On toolchains or targets
+/// without multiversioning support the macro expands to nothing and the
+/// baseline loop is used everywhere.
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RFADE_DETAIL_ASAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define RFADE_DETAIL_ASAN 1
+#endif
+
+#if defined(__x86_64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__)) && !defined(RFADE_DETAIL_ASAN)
+#define RFADE_TARGET_CLONES_AVX2 __attribute__((target_clones("default", "avx2")))
+#else
+#define RFADE_TARGET_CLONES_AVX2
+#endif

@@ -54,6 +54,12 @@ class ThreadPool {
   /// Number of worker threads in the pool.
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool.  Work
+  /// distributors (parallel_for_chunked) use this to run nested work
+  /// inline: a pool task that submits to the pool and blocks on the result
+  /// would deadlock once every worker is waiting.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
   /// Process-wide shared pool (lazily constructed, sized to the hardware).
   static ThreadPool& global();
 

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "rfade/core/covariance_spec.hpp"
-#include "rfade/numeric/cholesky.hpp"
 #include "rfade/support/error.hpp"
 
 namespace rfade::baselines {
@@ -20,45 +19,39 @@ void require_equal_powers(const numeric::CMatrix& k) {
   }
 }
 
-numeric::CMatrix epsilon_forced_cholesky(const numeric::CMatrix& k,
-                                         double epsilon,
-                                         numeric::CMatrix* forced_out,
-                                         double* distance_out) {
+/// The [6] build phase as a plan: epsilon-force the eigenvalues (so
+/// Cholesky stays performable), then Cholesky-color the forced matrix.
+/// Expressed on the shared plan layer — only the forcing policy differs
+/// from the paper's clip-to-zero + eigen-coloring plan.
+core::SamplePipeline make_pipeline(const numeric::CMatrix& k, double epsilon,
+                                   double* distance_out) {
+  core::validate_covariance_matrix(k);
+  require_equal_powers(k);
   core::PsdOptions psd;
   psd.policy = core::PsdPolicy::EpsilonReplace;
   psd.epsilon = epsilon;
   const core::PsdResult forced = core::force_positive_semidefinite(k, psd);
-  if (forced_out != nullptr) {
-    *forced_out = forced.matrix;
-  }
   if (distance_out != nullptr) {
     *distance_out = forced.frobenius_distance;
   }
   // All eigenvalues are >= epsilon, so Cholesky is performable; residual
   // round-off failures (the MATLAB issue reported in the paper) surface as
   // NotPositiveDefiniteError.
-  return numeric::cholesky(forced.matrix);
+  core::ColoringOptions coloring;
+  coloring.method = core::ColoringMethod::Cholesky;
+  return core::SamplePipeline(
+      core::ColoringPlan::create(forced.matrix, coloring));
 }
 
 }  // namespace
 
 SorooshyariDautGenerator::SorooshyariDautGenerator(const numeric::CMatrix& k,
                                                    double epsilon)
-    : dim_(k.rows()) {
-  core::validate_covariance_matrix(k);
-  require_equal_powers(k);
-  coloring_ = epsilon_forced_cholesky(k, epsilon, &forced_, &forcing_distance_);
-}
+    : dim_(k.rows()),
+      pipeline_(make_pipeline(k, epsilon, &forcing_distance_)) {}
 
 numeric::CVector SorooshyariDautGenerator::sample(random::Rng& rng) const {
-  numeric::CVector z(dim_, numeric::cdouble{});
-  for (std::size_t j = 0; j < dim_; ++j) {
-    const numeric::cdouble w = rng.complex_gaussian(1.0);
-    for (std::size_t i = j; i < dim_; ++i) {
-      z[i] += coloring_(i, j) * w;
-    }
-  }
-  return z;
+  return pipeline_.sample(rng);
 }
 
 SorooshyariDautRealTime::SorooshyariDautRealTime(const numeric::CMatrix& k,
@@ -66,36 +59,26 @@ SorooshyariDautRealTime::SorooshyariDautRealTime(const numeric::CMatrix& k,
                                                  double input_variance_per_dim,
                                                  double epsilon)
     : dim_(k.rows()),
+      pipeline_(make_pipeline(k, epsilon, nullptr)),
       branch_(m, fm, input_variance_per_dim),
-      assumed_variance_(2.0 * input_variance_per_dim) {
-  core::validate_covariance_matrix(k);
-  require_equal_powers(k);
-  coloring_ = epsilon_forced_cholesky(k, epsilon, nullptr, nullptr);
-}
+      assumed_variance_(2.0 * input_variance_per_dim) {}
 
 numeric::CMatrix SorooshyariDautRealTime::generate_block(
     random::Rng& rng) const {
   const std::size_t m = branch_.block_size();
-  numeric::CMatrix branch_outputs(dim_, m);
+  // Branch outputs u_j[0..M-1]; W row l is (u_1[l] ... u_N[l]).  Step 6 of
+  // [6]: the branch outputs are fed in as if their variance were still the
+  // input variance — no Eq. (19) correction — with the normalisation
+  // folded into the transpose pass.
+  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
+  numeric::CMatrix w(m, dim_);
   for (std::size_t j = 0; j < dim_; ++j) {
     const numeric::CVector u = branch_.generate_block(rng);
     for (std::size_t l = 0; l < m; ++l) {
-      branch_outputs(j, l) = u[l];
+      w(l, j) = u[l] * inv_sigma;
     }
   }
-  // Step 6 of [6]: the branch outputs are fed in as if their variance were
-  // still the input variance — no Eq. (19) correction.
-  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
-  numeric::CMatrix block(m, dim_, numeric::cdouble{});
-  for (std::size_t l = 0; l < m; ++l) {
-    for (std::size_t j = 0; j < dim_; ++j) {
-      const numeric::cdouble w = branch_outputs(j, l) * inv_sigma;
-      for (std::size_t i = 0; i < dim_; ++i) {
-        block(l, i) += coloring_(i, j) * w;
-      }
-    }
-  }
-  return block;
+  return pipeline_.color_block(w, 1.0);
 }
 
 }  // namespace rfade::baselines

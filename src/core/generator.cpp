@@ -1,69 +1,25 @@
 #include "rfade/core/generator.hpp"
 
-#include <cmath>
-
-#include "rfade/core/covariance_spec.hpp"
-#include "rfade/support/contracts.hpp"
-
 namespace rfade::core {
+
+namespace {
+
+PipelineOptions pipeline_options_from(const GeneratorOptions& options) {
+  PipelineOptions pipeline;
+  pipeline.sample_variance = options.sample_variance;
+  return pipeline;
+}
+
+}  // namespace
 
 EnvelopeGenerator::EnvelopeGenerator(numeric::CMatrix desired_covariance,
                                      GeneratorOptions options)
-    : dim_(desired_covariance.rows()),
-      desired_(std::move(desired_covariance)),
-      sample_variance_(options.sample_variance) {
-  validate_covariance_matrix(desired_);
-  RFADE_EXPECTS(options.sample_variance > 0.0,
-                "EnvelopeGenerator: sample variance must be positive");
-  coloring_ = compute_coloring(desired_, options.coloring);
-  inv_sigma_w_ = 1.0 / std::sqrt(sample_variance_);
-}
+    : pipeline_(ColoringPlan::create(std::move(desired_covariance),
+                                     options.coloring),
+                pipeline_options_from(options)) {}
 
-void EnvelopeGenerator::sample_into(random::Rng& rng,
-                                    std::span<numeric::cdouble> out) const {
-  RFADE_EXPECTS(out.size() == dim_, "sample_into: output size mismatch");
-  // Step 6: W = (u_1 ... u_N)^T, i.i.d. CN(0, sigma_w^2).
-  // Step 7: Z = L W / sigma_w, computed as a streaming matvec.
-  for (std::size_t i = 0; i < dim_; ++i) {
-    out[i] = numeric::cdouble{};
-  }
-  const numeric::CMatrix& l = coloring_.matrix;
-  for (std::size_t j = 0; j < dim_; ++j) {
-    const numeric::cdouble w = rng.complex_gaussian(sample_variance_);
-    const numeric::cdouble scaled = w * inv_sigma_w_;
-    for (std::size_t i = 0; i < dim_; ++i) {
-      out[i] += l(i, j) * scaled;
-    }
-  }
-}
-
-numeric::CVector EnvelopeGenerator::sample(random::Rng& rng) const {
-  numeric::CVector z(dim_);
-  sample_into(rng, z);
-  return z;
-}
-
-numeric::RVector EnvelopeGenerator::sample_envelopes(random::Rng& rng) const {
-  const numeric::CVector z = sample(rng);
-  numeric::RVector r(dim_);
-  for (std::size_t j = 0; j < dim_; ++j) {
-    r[j] = std::abs(z[j]);
-  }
-  return r;
-}
-
-numeric::CMatrix EnvelopeGenerator::sample_block(std::size_t count,
-                                                 random::Rng& rng) const {
-  RFADE_EXPECTS(count > 0, "sample_block: count must be positive");
-  numeric::CMatrix block(count, dim_);
-  numeric::CVector row(dim_);
-  for (std::size_t t = 0; t < count; ++t) {
-    sample_into(rng, row);
-    for (std::size_t j = 0; j < dim_; ++j) {
-      block(t, j) = row[j];
-    }
-  }
-  return block;
-}
+EnvelopeGenerator::EnvelopeGenerator(std::shared_ptr<const ColoringPlan> plan,
+                                     GeneratorOptions options)
+    : pipeline_(std::move(plan), pipeline_options_from(options)) {}
 
 }  // namespace rfade::core

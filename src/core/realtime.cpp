@@ -1,20 +1,24 @@
 #include "rfade/core/realtime.hpp"
 
 #include <cmath>
+#include <vector>
 
-#include "rfade/core/covariance_spec.hpp"
-#include "rfade/support/contracts.hpp"
+#include "rfade/support/parallel.hpp"
 
 namespace rfade::core {
 
 RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
                                      RealTimeOptions options)
-    : dim_(desired_covariance.rows()),
-      desired_(std::move(desired_covariance)),
+    : RealTimeGenerator(ColoringPlan::create(std::move(desired_covariance),
+                                             options.coloring),
+                        options) {}
+
+RealTimeGenerator::RealTimeGenerator(std::shared_ptr<const ColoringPlan> plan,
+                                     RealTimeOptions options)
+    : pipeline_(std::move(plan)),
       branch_(options.idft_size, options.normalized_doppler,
-              options.input_variance_per_dim) {
-  validate_covariance_matrix(desired_);
-  coloring_ = compute_coloring(desired_, options.coloring);
+              options.input_variance_per_dim),
+      parallel_branches_(options.parallel_branches) {
   // Proposed (Sec. 5 step 6): divide by the Eq. (19) post-filter variance.
   // Flawed mode (ref. [6]): divide by the input complex variance
   // 2 sigma_orig^2, as if the Doppler filter did not change the power.
@@ -25,29 +29,40 @@ RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
 }
 
 numeric::CMatrix RealTimeGenerator::generate_block(random::Rng& rng) const {
+  const std::size_t n = pipeline_.dimension();
   const std::size_t m = branch_.block_size();
-  // Branch outputs u_j[0..M-1], one row per branch.
-  numeric::CMatrix branch_outputs(dim_, m);
-  for (std::size_t j = 0; j < dim_; ++j) {
-    const numeric::CVector u = branch_.generate_block(rng);
-    for (std::size_t l = 0; l < m; ++l) {
-      branch_outputs(j, l) = u[l];
-    }
+
+  // Spectra are drawn branch-by-branch in a fixed serial order — the rng
+  // consumption order never depends on thread count.
+  std::vector<numeric::CVector> spectra(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    spectra[j] = branch_.draw_spectrum(rng);
   }
 
-  // Color each time instant: Z_l = L W_l / sigma_g (steps 7-8).
+  // The IDFTs are pure and independent: synthesize branches concurrently.
+  std::vector<numeric::CVector> outputs(n);
+  support::parallel_for_chunked(
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t j = begin; j < end; ++j) {
+          outputs[j] = branch_.synthesize(spectra[j]);
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
+
+  // W row l is the vector (u_1[l] ... u_N[l]); the step-6 normalisation
+  // 1/sigma_g is folded into this transpose pass (same scale-then-color
+  // order, hence the same bits, as scaling inside color_block), then every
+  // time instant is colored with L: Z_l = L W_l / sigma_g (steps 7-8).
   const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
-  const numeric::CMatrix& l_mat = coloring_.matrix;
-  numeric::CMatrix block(m, dim_, numeric::cdouble{});
-  for (std::size_t l = 0; l < m; ++l) {
-    for (std::size_t j = 0; j < dim_; ++j) {
-      const numeric::cdouble w = branch_outputs(j, l) * inv_sigma;
-      for (std::size_t i = 0; i < dim_; ++i) {
-        block(l, i) += l_mat(i, j) * w;
-      }
+  numeric::CMatrix w(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const numeric::CVector& u = outputs[j];
+    for (std::size_t l = 0; l < m; ++l) {
+      w(l, j) = u[l] * inv_sigma;
     }
   }
-  return block;
+  return pipeline_.color_block(w, 1.0);
 }
 
 numeric::RMatrix RealTimeGenerator::generate_envelope_block(

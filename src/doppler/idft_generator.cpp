@@ -16,7 +16,7 @@ IdftRayleighBranch::IdftRayleighBranch(std::size_t m, double fm,
                 "IdftRayleighBranch: input variance must be positive");
 }
 
-numeric::CVector IdftRayleighBranch::generate_block(random::Rng& rng) const {
+numeric::CVector IdftRayleighBranch::draw_spectrum(random::Rng& rng) const {
   const std::size_t m = design_.size();
   const double sigma_orig = std::sqrt(input_variance_per_dim_);
   numeric::CVector spectrum(m);
@@ -31,7 +31,18 @@ numeric::CVector IdftRayleighBranch::generate_block(random::Rng& rng) const {
     const double b = rng.gaussian(0.0, sigma_orig);
     spectrum[k] = numeric::cdouble(f * a, -f * b);
   }
+  return spectrum;
+}
+
+numeric::CVector IdftRayleighBranch::synthesize(
+    const numeric::CVector& spectrum) const {
+  RFADE_EXPECTS(spectrum.size() == design_.size(),
+                "synthesize: spectrum length != IDFT size");
   return fft::idft(spectrum);  // u[l] = (1/M) sum_k U[k] e^{i 2 pi k l / M}
+}
+
+numeric::CVector IdftRayleighBranch::generate_block(random::Rng& rng) const {
+  return synthesize(draw_spectrum(rng));
 }
 
 numeric::RVector IdftRayleighBranch::generate_envelope_block(

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rfade/support/simd.hpp"
+
 namespace rfade::numeric {
 
 namespace {
+
+/// One row tile of the planar GEMM (m <= tile rows), multiversioned for
+/// wider vectors; the avx2 clone has no FMA, so every clone produces the
+/// bit pattern of the scalar mul/add sequence.
+RFADE_TARGET_CLONES_AVX2
+void planar_gemm_tile(const double* __restrict a_re,
+                      const double* __restrict a_im, std::size_t m,
+                      std::size_t k, const double* __restrict b_re,
+                      const double* __restrict b_im, std::size_t n,
+                      double* __restrict c_re, double* __restrict c_im) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* brr = b_re + kk * n;
+    const double* bri = b_im + kk * n;
+    for (std::size_t t = 0; t < m; ++t) {
+      const double ar = a_re[t * k + kk];
+      const double ai = a_im[t * k + kk];
+      double* crr = c_re + t * n;
+      double* cri = c_im + t * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crr[j] += ar * brr[j] - ai * bri[j];
+        cri[j] += ar * bri[j] + ai * brr[j];
+      }
+    }
+  }
+}
 
 template <typename T>
 Matrix<T> multiply_impl(const Matrix<T>& a, const Matrix<T>& b) {
@@ -119,6 +146,69 @@ CVector multiply(const CMatrix& a, const CVector& x) {
 }
 RVector multiply(const RMatrix& a, const RVector& x) {
   return matvec_impl(a, x);
+}
+
+void multiply_block_raw(const cdouble* a, std::size_t m, std::size_t k,
+                        const cdouble* b, std::size_t n, cdouble* c) {
+  // Row-tile size: one tile of c (kRowTile x n) plus one row of b fit in L1
+  // for every dimension rfade uses (n is the envelope count, <= a few
+  // hundred).  Within a tile the kk loop is outermost, so each output
+  // element accumulates its k-terms in ascending order — the bit pattern of
+  // the naive dot product.
+  constexpr std::size_t kRowTile = 64;
+  for (std::size_t t0 = 0; t0 < m; t0 += kRowTile) {
+    const std::size_t t1 = std::min(m, t0 + kRowTile);
+    std::fill(c + t0 * n, c + t1 * n, cdouble{});
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const cdouble* brow = b + kk * n;
+      for (std::size_t t = t0; t < t1; ++t) {
+        const cdouble atk = a[t * k + kk];
+        cdouble* crow = c + t * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += atk * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void multiply_block_into(const CMatrix& a, const CMatrix& b, CMatrix& out) {
+  RFADE_EXPECTS(a.cols() == b.rows(),
+                "multiply_block: inner dimensions differ");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out = CMatrix(a.rows(), b.cols());
+  }
+  multiply_block_raw(a.data(), a.rows(), a.cols(), b.data(), b.cols(),
+                     out.data());
+}
+
+CMatrix multiply_block(const CMatrix& a, const CMatrix& b) {
+  CMatrix out;
+  multiply_block_into(a, b, out);
+  return out;
+}
+
+void multiply_block_planar(const double* a_re, const double* a_im,
+                           std::size_t m, std::size_t k, const double* b_re,
+                           const double* b_im, std::size_t n, cdouble* c) {
+  constexpr std::size_t kRowTile = 64;
+  std::vector<double> c_re(kRowTile * n);
+  std::vector<double> c_im(kRowTile * n);
+  for (std::size_t t0 = 0; t0 < m; t0 += kRowTile) {
+    const std::size_t t1 = std::min(m, t0 + kRowTile);
+    std::fill(c_re.begin(), c_re.begin() + (t1 - t0) * n, 0.0);
+    std::fill(c_im.begin(), c_im.begin() + (t1 - t0) * n, 0.0);
+    planar_gemm_tile(a_re + t0 * k, a_im + t0 * k, t1 - t0, k, b_re, b_im, n,
+                     c_re.data(), c_im.data());
+    for (std::size_t t = t0; t < t1; ++t) {
+      const double* crr = c_re.data() + (t - t0) * n;
+      const double* cri = c_im.data() + (t - t0) * n;
+      cdouble* crow = c + t * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] = cdouble(crr[j], cri[j]);
+      }
+    }
+  }
 }
 
 CMatrix add(const CMatrix& a, const CMatrix& b) {

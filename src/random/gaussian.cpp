@@ -86,4 +86,9 @@ Rng Rng::fork_stream(std::uint64_t stream_id) const {
 
 const char* Rng::engine_name() const { return engine_->name(); }
 
+Rng block_substream(std::uint64_t seed, std::uint64_t block_index,
+                    GaussianAlgorithm algorithm) {
+  return Rng(EngineKind::Philox, seed, block_index + 1, algorithm);
+}
+
 }  // namespace rfade::random

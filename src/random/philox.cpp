@@ -2,38 +2,9 @@
 
 namespace rfade::random {
 
-namespace {
-
-constexpr std::uint32_t kMult0 = 0xD2511F53u;
-constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
-constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
-constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
-
-inline void single_round(std::array<std::uint32_t, 4>& ctr,
-                         const std::array<std::uint32_t, 2>& key) {
-  const std::uint64_t product0 =
-      static_cast<std::uint64_t>(kMult0) * ctr[0];
-  const std::uint64_t product1 =
-      static_cast<std::uint64_t>(kMult1) * ctr[2];
-  const auto hi0 = static_cast<std::uint32_t>(product0 >> 32);
-  const auto lo0 = static_cast<std::uint32_t>(product0);
-  const auto hi1 = static_cast<std::uint32_t>(product1 >> 32);
-  const auto lo1 = static_cast<std::uint32_t>(product1);
-  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
-}
-
-}  // namespace
-
 std::array<std::uint32_t, 4> PhiloxEngine::block(
     std::array<std::uint32_t, 2> key, std::array<std::uint32_t, 4> counter) {
-  for (int round = 0; round < 10; ++round) {
-    if (round > 0) {
-      key[0] += kWeyl0;
-      key[1] += kWeyl1;
-    }
-    single_round(counter, key);
-  }
-  return counter;
+  return detail::philox_block(key, counter);
 }
 
 PhiloxEngine::PhiloxEngine(std::uint64_t seed, std::uint64_t stream) {

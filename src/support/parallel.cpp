@@ -23,7 +23,15 @@ void parallel_for_chunked(
     return;
   }
   const std::size_t chunks = chunk_count(n, options);
-  if (options.serial || chunks == 1) {
+  // Degrade gracefully to in-place serial execution when dispatching to the
+  // pool cannot help or would deadlock: explicit request, a single chunk, a
+  // degenerate pool (hardware_concurrency() == 0 leaves one worker —
+  // dispatching there only adds queueing latency), or a caller that is
+  // itself a pool task (submitting and blocking from a worker exhausts the
+  // pool).  The chunk decomposition — and therefore every chunk-keyed RNG
+  // stream — is identical either way.
+  if (options.serial || chunks == 1 || ThreadPool::global().size() <= 1 ||
+      ThreadPool::on_worker_thread()) {
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t begin = c * options.chunk_size;
       const std::size_t end = std::min(n, begin + options.chunk_size);

@@ -2,6 +2,12 @@
 
 namespace rfade::support {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {
     thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {

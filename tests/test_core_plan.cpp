@@ -1,0 +1,404 @@
+// Tests for the shared plan layer (plan.hpp): ColoringPlan reuse across
+// generators is bit-identical to the per-class construction paths, blocked
+// draws agree with per-sample draws bit-for-bit, the bulk batched paths are
+// deterministic and thread-count/order independent, and the blocked GEMM
+// kernels reproduce the naive reference products exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "rfade/channel/spectral.hpp"
+#include "rfade/core/generator.hpp"
+#include "rfade/core/plan.hpp"
+#include "rfade/core/realtime.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/random/bulk_gaussian.hpp"
+#include "rfade/random/philox.hpp"
+#include "rfade/random/rng.hpp"
+#include "rfade/stats/covariance.hpp"
+#include "rfade/support/error.hpp"
+#include "rfade/support/parallel.hpp"
+
+namespace {
+
+using namespace rfade;
+using core::ColoringPlan;
+using core::EnvelopeGenerator;
+using core::SamplePipeline;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+CMatrix paper_k() {
+  return channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+}
+
+CMatrix tridiagonal_covariance(std::size_t n) {
+  CMatrix k = CMatrix::identity(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    k(i, i + 1) = cdouble(0.4, 0.2);
+    k(i + 1, i) = cdouble(0.4, -0.2);
+  }
+  return k;
+}
+
+CMatrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  random::Rng rng(seed);
+  CMatrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      a(i, j) = rng.complex_gaussian(1.0);
+    }
+  }
+  return a;
+}
+
+TEST(ColoringPlan, SharedAcrossGeneratorsBitIdentical) {
+  const CMatrix k = paper_k();
+  const auto plan = ColoringPlan::create(k);
+
+  // One plan, three consumers: per-class construction and plan reuse must
+  // produce the same bits with the same seed.
+  const EnvelopeGenerator from_matrix(k);
+  const EnvelopeGenerator from_plan(plan);
+  const SamplePipeline pipeline(plan);
+
+  EXPECT_LT(numeric::max_abs_diff(from_matrix.coloring_matrix(),
+                                  from_plan.coloring_matrix()),
+            1e-300);
+  random::Rng a(42);
+  random::Rng b(42);
+  random::Rng c(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto za = from_matrix.sample(a);
+    const auto zb = from_plan.sample(b);
+    const auto zc = pipeline.sample(c);
+    for (std::size_t j = 0; j < k.rows(); ++j) {
+      EXPECT_EQ(za[j], zb[j]);
+      EXPECT_EQ(za[j], zc[j]);
+    }
+  }
+}
+
+TEST(ColoringPlan, MatchesHandRolledSeedPath) {
+  // The seed code's per-draw loop (streaming matvec over L), reproduced
+  // verbatim, must match SamplePipeline::sample_into bit-for-bit.
+  const CMatrix k = paper_k();
+  const auto plan = ColoringPlan::create(k);
+  const SamplePipeline pipeline(plan);
+  const std::size_t n = plan->dimension();
+  const CMatrix& l = plan->coloring_matrix();
+
+  random::Rng rng_new(7);
+  random::Rng rng_old(7);
+  numeric::CVector z_new(n);
+  for (int t = 0; t < 100; ++t) {
+    pipeline.sample_into(rng_new, z_new);
+    numeric::CVector z_old(n, cdouble{});
+    for (std::size_t j = 0; j < n; ++j) {
+      const cdouble w = rng_old.complex_gaussian(1.0);
+      const cdouble scaled = w * 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        z_old[i] += l(i, j) * scaled;
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(z_new[j], z_old[j]);
+    }
+  }
+}
+
+TEST(ColoringPlan, RealTimeSharedPlanBitIdentical) {
+  const CMatrix k = paper_k();
+  const auto plan = ColoringPlan::create(k);
+  core::RealTimeOptions options;
+  options.idft_size = 256;
+  options.normalized_doppler = 0.05;
+  const core::RealTimeGenerator from_matrix(k, options);
+  const core::RealTimeGenerator from_plan(plan, options);
+  EXPECT_EQ(from_matrix.plan()->coloring_matrix(),
+            from_plan.plan()->coloring_matrix());
+
+  random::Rng a(11);
+  random::Rng b(11);
+  const CMatrix block_a = from_matrix.generate_block(a);
+  const CMatrix block_b = from_plan.generate_block(b);
+  EXPECT_EQ(block_a, block_b);
+}
+
+TEST(ColoringPlan, RealTimeMatchesHandRolledColoring) {
+  // The seed RealTimeGenerator colored with a per-instant triple loop;
+  // the pipeline's blocked color_block must reproduce it bit-for-bit.
+  const CMatrix k = paper_k();
+  core::RealTimeOptions options;
+  options.idft_size = 128;
+  options.parallel_branches = true;
+  const core::RealTimeGenerator gen(k, options);
+  const std::size_t n = gen.dimension();
+  const std::size_t m = gen.block_size();
+  const CMatrix& l = gen.plan()->coloring_matrix();
+
+  random::Rng rng_new(13);
+  random::Rng rng_old(13);
+  const CMatrix block_new = gen.generate_block(rng_new);
+
+  CMatrix branch_outputs(n, m);
+  for (std::size_t j = 0; j < n; ++j) {
+    const numeric::CVector u = gen.branch().generate_block(rng_old);
+    for (std::size_t t = 0; t < m; ++t) {
+      branch_outputs(j, t) = u[t];
+    }
+  }
+  const double inv_sigma = 1.0 / std::sqrt(gen.assumed_variance());
+  CMatrix block_old(m, n, cdouble{});
+  for (std::size_t t = 0; t < m; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cdouble w = branch_outputs(j, t) * inv_sigma;
+      for (std::size_t i = 0; i < n; ++i) {
+        block_old(t, i) += l(i, j) * w;
+      }
+    }
+  }
+  EXPECT_EQ(block_new, block_old);
+}
+
+TEST(SamplePipeline, BlockedMatchesPerSampleBitwise) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(12));
+  const SamplePipeline pipeline(plan);
+  const std::size_t n = pipeline.dimension();
+
+  random::Rng rng_block(99);
+  random::Rng rng_draw(99);
+  const CMatrix block = pipeline.sample_block(257, rng_block);
+  numeric::CVector z(n);
+  for (std::size_t t = 0; t < block.rows(); ++t) {
+    pipeline.sample_into(rng_draw, z);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(block(t, j), z[j]) << "row " << t << " col " << j;
+    }
+  }
+  // Both rngs must end in the same state: the blocked path consumed the
+  // generator in exactly per-draw order.
+  EXPECT_EQ(rng_block.next_u64(), rng_draw.next_u64());
+}
+
+TEST(SamplePipeline, StreamDeterministicForAnyThreadCount) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(6));
+  core::PipelineOptions serial_options;
+  serial_options.block_size = 512;
+  serial_options.parallel = false;
+  core::PipelineOptions parallel_options = serial_options;
+  parallel_options.parallel = true;
+  const SamplePipeline serial(plan, serial_options);
+  const SamplePipeline parallel(plan, parallel_options);
+
+  // 5000 samples = 10 blocks (one partial): serial vs thread-pool fan-out
+  // must agree bit-for-bit, because every block's randomness is a pure
+  // function of (seed, block index).
+  const CMatrix a = serial.sample_stream(5000, 0xABCDEF);
+  const CMatrix b = parallel.sample_stream(5000, 0xABCDEF);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SamplePipeline, StreamBlocksRegenerableInAnyOrder) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(5));
+  core::PipelineOptions options;
+  options.block_size = 300;
+  const SamplePipeline pipeline(plan);
+  const SamplePipeline pipeline_opts(plan, options);
+
+  const std::size_t count = 1000;  // blocks of 300: 300/300/300/100
+  const CMatrix stream = pipeline_opts.sample_stream(count, 5);
+  // Reassemble from individual blocks requested in reverse order.
+  const std::size_t n = plan->dimension();
+  CMatrix rebuilt(count, n);
+  for (std::size_t block = 4; block-- > 0;) {
+    const std::size_t begin = block * options.block_size;
+    const std::size_t rows = std::min(options.block_size, count - begin);
+    const CMatrix piece = pipeline.sample_block(rows, 5, block);
+    for (std::size_t t = 0; t < rows; ++t) {
+      for (std::size_t j = 0; j < n; ++j) {
+        rebuilt(begin + t, j) = piece(t, j);
+      }
+    }
+  }
+  EXPECT_EQ(stream, rebuilt);
+}
+
+TEST(SamplePipeline, BulkPathInvariantToSampleVariance) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(4));
+  core::PipelineOptions big;
+  big.sample_variance = 25.0;
+  const SamplePipeline unit(plan);
+  const SamplePipeline scaled(plan, big);
+  // Step 6's sigma_w cancels exactly in the batched path.
+  EXPECT_EQ(unit.sample_block(100, 3, 0), scaled.sample_block(100, 3, 0));
+}
+
+TEST(SamplePipeline, BulkPathAchievesDesiredCovariance) {
+  const CMatrix k = paper_k();
+  const auto plan = ColoringPlan::create(k);
+  const SamplePipeline pipeline(plan);
+  const CMatrix z = pipeline.sample_stream(200000, 0xBEEF);
+  stats::CovarianceAccumulator acc(k.rows());
+  numeric::CVector row(k.rows());
+  for (std::size_t t = 0; t < z.rows(); ++t) {
+    for (std::size_t j = 0; j < k.rows(); ++j) {
+      row[j] = z(t, j);
+    }
+    acc.add(row);
+  }
+  EXPECT_LT(stats::relative_frobenius_error(acc.covariance(), k), 0.01);
+}
+
+TEST(SamplePipeline, ColorBlockMatchesManualLoop) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(7));
+  const SamplePipeline pipeline(plan);
+  const std::size_t n = plan->dimension();
+  const CMatrix w = random_matrix(93, n, 21);
+  const double variance = 0.37;
+
+  const CMatrix colored = pipeline.color_block(w, variance);
+  const double inv_sigma = 1.0 / std::sqrt(variance);
+  const CMatrix& l = plan->coloring_matrix();
+  CMatrix expected(w.rows(), n, cdouble{});
+  for (std::size_t t = 0; t < w.rows(); ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cdouble scaled = w(t, j) * inv_sigma;
+      for (std::size_t i = 0; i < n; ++i) {
+        expected(t, i) += l(i, j) * scaled;
+      }
+    }
+  }
+  EXPECT_EQ(colored, expected);
+}
+
+TEST(SamplePipeline, RejectsInvalidArguments) {
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(3));
+  EXPECT_THROW(SamplePipeline(nullptr), ContractViolation);
+  core::PipelineOptions bad_variance;
+  bad_variance.sample_variance = 0.0;
+  EXPECT_THROW(SamplePipeline(plan, bad_variance), ContractViolation);
+  core::PipelineOptions bad_block;
+  bad_block.block_size = 0;
+  EXPECT_THROW(SamplePipeline(plan, bad_block), ContractViolation);
+
+  const SamplePipeline pipeline(plan);
+  random::Rng rng(1);
+  EXPECT_THROW((void)pipeline.sample_block(0, rng), ContractViolation);
+  EXPECT_THROW((void)pipeline.sample_block(0, 1, 0), ContractViolation);
+  EXPECT_THROW((void)pipeline.color_block(CMatrix(4, 2), 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)pipeline.color_block(CMatrix(4, 3), 0.0),
+               ContractViolation);
+}
+
+TEST(MatrixOps, MultiplyBlockBitIdenticalToNaive) {
+  const CMatrix a = random_matrix(200, 17, 31);
+  const CMatrix b = random_matrix(17, 9, 32);
+  const CMatrix naive = numeric::multiply(a, b);
+  const CMatrix blocked = numeric::multiply_block(a, b);
+  EXPECT_EQ(naive, blocked);
+}
+
+TEST(MatrixOps, MultiplyBlockPlanarBitIdentical) {
+  const std::size_t m = 150;
+  const std::size_t k = 11;
+  const std::size_t n = 11;
+  const CMatrix a = random_matrix(m, k, 41);
+  const CMatrix b = random_matrix(k, n, 42);
+  std::vector<double> a_re(m * k);
+  std::vector<double> a_im(m * k);
+  std::vector<double> b_re(k * n);
+  std::vector<double> b_im(k * n);
+  for (std::size_t i = 0; i < m * k; ++i) {
+    a_re[i] = a.data()[i].real();
+    a_im[i] = a.data()[i].imag();
+  }
+  for (std::size_t i = 0; i < k * n; ++i) {
+    b_re[i] = b.data()[i].real();
+    b_im[i] = b.data()[i].imag();
+  }
+  CMatrix planar(m, n);
+  numeric::multiply_block_planar(a_re.data(), a_im.data(), m, k, b_re.data(),
+                                 b_im.data(), n, planar.data());
+  EXPECT_EQ(numeric::multiply_block(a, b), planar);
+}
+
+TEST(BulkGaussian, ConsumesExactPhiloxCounterBlocks) {
+  // Sample t of substream (seed, stream) must be the Box-Muller image of
+  // counter block t — the contract that makes ranges order-independent.
+  const std::uint64_t seed = 0x5EED;
+  const std::uint64_t stream = 9;
+  const std::size_t count = 64;
+  std::vector<double> re(count);
+  std::vector<double> im(count);
+  random::fill_complex_gaussians_planar(seed, stream, 1.0, count, re.data(),
+                                        im.data());
+  for (const std::size_t t : {0ul, 1ul, 31ul, 63ul}) {
+    const auto words = random::PhiloxEngine::block(
+        {static_cast<std::uint32_t>(seed),
+         static_cast<std::uint32_t>(seed >> 32)},
+        {static_cast<std::uint32_t>(t), 0u,
+         static_cast<std::uint32_t>(stream), 0u});
+    const std::uint64_t bits01 =
+        (static_cast<std::uint64_t>(words[1]) << 32) | words[0];
+    const std::uint64_t bits23 =
+        (static_cast<std::uint64_t>(words[3]) << 32) | words[2];
+    const double u = 1.0 - random::to_unit_double(bits01);
+    const double v = 6.283185307179586476925286766559 *
+                     random::to_unit_double(bits23);
+    const double radius = std::sqrt(0.5) * std::sqrt(-2.0 * std::log(u));
+    // The bulk kernel may evaluate log/sin/cos through vectorized libm
+    // variants; allow a few ulp.
+    EXPECT_NEAR(re[t], radius * std::cos(v), 1e-10);
+    EXPECT_NEAR(im[t], radius * std::sin(v), 1e-10);
+  }
+  // And the fill itself is a pure function of its key.
+  std::vector<double> re2(count);
+  std::vector<double> im2(count);
+  random::fill_complex_gaussians_planar(seed, stream, 1.0, count, re2.data(),
+                                        im2.data());
+  EXPECT_EQ(re, re2);
+  EXPECT_EQ(im, im2);
+}
+
+TEST(BulkGaussian, BlockSubstreamHelperMatchesPhiloxStream) {
+  // block_substream(seed, b) must be the Philox engine on stream b + 1.
+  random::Rng helper = random::block_substream(0x1234, 6);
+  random::Rng manual(0x1234, 7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(helper.next_u64(), manual.next_u64());
+  }
+}
+
+TEST(SamplePipeline, StreamComposesWithOuterPoolWork) {
+  // A pool task that itself calls sample_stream must not deadlock: the
+  // distributor runs nested work inline on the worker, and the per-block
+  // substreams make the result identical to the top-level call.
+  const auto plan = ColoringPlan::create(tridiagonal_covariance(4));
+  const SamplePipeline pipeline(plan);
+  const CMatrix direct = pipeline.sample_stream(3000, 17);
+  std::vector<CMatrix> nested(4);
+  support::parallel_for_chunked(
+      4,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          nested[i] = pipeline.sample_stream(3000, 17);
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/false});
+  for (const CMatrix& result : nested) {
+    EXPECT_EQ(result, direct);
+  }
+}
+
+TEST(EnvelopeGenerator, StreamConvenienceMatchesPipeline) {
+  const CMatrix k = paper_k();
+  const EnvelopeGenerator gen(k);
+  EXPECT_EQ(gen.sample_stream(1000, 77),
+            gen.pipeline().sample_stream(1000, 77));
+}
+
+}  // namespace
