@@ -3,8 +3,13 @@
 //     1/sqrt(n) rate, for equal and unequal powers, PSD and non-PSD K;
 //   * envelope means/variances match Eqs. (14)-(15);
 //   * envelopes pass the Rayleigh KS test.
+//
+// Exit status is the accuracy gate CI runs unconditionally: nonzero when
+// any case misses the convergence rate, the moment bands, or the KS
+// threshold — statistical drift fails the build, not just the table.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "rfade/channel/spectral.hpp"
 #include "rfade/core/generator.hpp"
@@ -53,6 +58,7 @@ CMatrix non_psd_matrix() {
 }  // namespace
 
 int main() {
+  bool ok = true;
   std::vector<Case> cases;
   cases.push_back({"eq-power PD (Eq.22), N=3",
                    channel::spectral_covariance_matrix(
@@ -82,6 +88,9 @@ int main() {
     // Each decade of samples should shrink the error by ~sqrt(10)=3.16.
     const double overall_ratio = errors.front() / errors.back();
     row.push_back(overall_ratio > 8.0 ? "yes" : "weak");
+    if (overall_ratio <= 8.0) {
+      ok = false;
+    }
     convergence.add_row(row);
   }
   convergence.print();
@@ -105,11 +114,16 @@ int main() {
                      support::scientific(var_err),
                      support::fixed(report.worst_ks_p_value, 4),
                      report.worst_ks_p_value > 1e-3 ? "yes" : "NO"});
+    if (report.worst_ks_p_value <= 1e-3 || mean_err > 0.01 ||
+        var_err > 0.05) {
+      ok = false;
+    }
   }
   std::printf("\n");
   moments.print();
 
   std::printf("\npaper claim (Sec. 4.5): E{r} = 0.8862 sigma_g, "
               "Var{r} = 0.2146 sigma_g^2, E[ZZ^H] = K_bar — all measured.\n");
-  return 0;
+  std::printf("accuracy gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

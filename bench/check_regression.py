@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the batched sampling paths.
+
+Compares a fresh google-benchmark JSON (--benchmark_out) against the
+committed baseline (bench/baseline_throughput.json) and fails when the
+batched-path throughput regresses by more than the tolerance.
+
+Raw items/s is machine-dependent, so by default each batched benchmark is
+normalized by the PerSampleBlockBaseline result *from the same file* at
+matched (N, block) args: the gated quantity is the batched-over-per-sample
+speedup, which transfers across machines of the same ISA family.  The
+committed baseline was recorded on a single-core machine, so the parallel
+path's baseline speedup is its single-core floor — any multicore CI
+runner clears it with margin unless the batched path itself regresses.
+
+Usage:
+  check_regression.py --current BENCH_x.json [--baseline bench/baseline_throughput.json]
+                      [--tolerance 0.25] [--pattern REGEX] [--absolute]
+
+Exit status: 0 OK, 1 regression, 2 usage/data error.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+REFERENCE = "PerSampleBlockBaseline"
+DEFAULT_PATTERN = r"^(BatchedBlockSerial|BatchedStreamParallel)"
+
+
+def die(message):
+    """Usage/data error: exit 2 so it is distinguishable from a regression."""
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_items_per_second(path):
+    """Map benchmark name -> items_per_second.
+
+    With --benchmark_repetitions the same name repeats; the median across
+    repetitions is used (and an explicit _median aggregate, when present,
+    wins outright) to keep the gate robust to scheduler noise.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"error: cannot read benchmark JSON {path}: {e}")
+    medians = {}
+    raw_runs = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        ips = bench.get("items_per_second")
+        if not ips:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[re.sub(r"_median$", "", name)] = float(ips)
+        else:
+            raw_runs.setdefault(name, []).append(float(ips))
+    result = {name: statistics.median(runs) for name, runs in raw_runs.items()}
+    result.update(medians)
+    if not result:
+        die(f"error: no benchmarks with items_per_second in {path}")
+    return result
+
+
+def args_suffix(name):
+    """'BatchedBlockSerial/8/4096' -> '/8/4096' (minus timing suffixes)."""
+    base = re.sub(r"/(real_time|process_time)$", "", name)
+    i = base.find("/")
+    return base[i:] if i >= 0 else ""
+
+
+def reference_ips(bench, name):
+    """PerSampleBlockBaseline items/s at the same args, if present."""
+    suffix = args_suffix(name)
+    for candidate in (REFERENCE + suffix, REFERENCE + suffix + "/real_time"):
+        if candidate in bench:
+            return bench[candidate]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="fresh --benchmark_out JSON")
+    parser.add_argument("--baseline",
+                        default="bench/baseline_throughput.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max fractional drop vs baseline (default 0.25)")
+    parser.add_argument("--pattern", default=DEFAULT_PATTERN,
+                        help="regex of gated benchmark names")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw items/s instead of the "
+                             "per-sample-normalized speedup")
+    opts = parser.parse_args()
+
+    current = load_items_per_second(opts.current)
+    baseline = load_items_per_second(opts.baseline)
+    gate = re.compile(opts.pattern)
+
+    gated = [n for n in baseline if gate.search(n)]
+    if not gated:
+        die(f"error: pattern {opts.pattern!r} matches nothing in "
+            f"{opts.baseline}")
+
+    failures = []
+    checked = 0
+    for name in sorted(gated):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"current run")
+            continue
+        if opts.absolute:
+            base_value, cur_value, unit = baseline[name], current[name], "items/s"
+        else:
+            base_ref = reference_ips(baseline, name)
+            cur_ref = reference_ips(current, name)
+            if base_ref is None or cur_ref is None:
+                print(f"note: {name}: no {REFERENCE} at matched args; "
+                      f"skipping (run the full bench or use --absolute)")
+                continue
+            base_value = baseline[name] / base_ref
+            cur_value = current[name] / cur_ref
+            unit = "x speedup"
+        checked += 1
+        floor = (1.0 - opts.tolerance) * base_value
+        status = "OK " if cur_value >= floor else "REG"
+        print(f"{status} {name}: current {cur_value:.2f} {unit} vs baseline "
+              f"{base_value:.2f} (floor {floor:.2f})")
+        if cur_value < floor:
+            failures.append(
+                f"{name}: {cur_value:.2f} {unit} < floor {floor:.2f} "
+                f"({opts.tolerance:.0%} below baseline {base_value:.2f})")
+
+    if failures:
+        print("\nbatched-path throughput regression detected:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        die("error: nothing compared (no matched reference entries)")
+    print(f"\nall {checked} gated benchmarks within {opts.tolerance:.0%} of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+// Cascaded (double) Rayleigh envelopes — the mobile-to-mobile / keyhole
+// product channel of Ibdah & Ding — from two correlated stages on shared
+// ColoringPlans: stage 1 carries the paper's spectral covariance, stage 2
+// an independent correlation profile, and each draw is the Hadamard
+// product Z1 (.) Z2.
+//
+//   build/examples/cascaded_rayleigh [--samples 200000] [--seed 7]
+//
+// The closing tables verify the product-channel theory: E[r] =
+// (pi/4) s1 s2, E[r^2] = s1^2 s2^2, amount of fading ~ 3 (vs 1 for plain
+// Rayleigh — cascades fade much deeper), and the complex covariance of
+// the product equals the Hadamard product of the stage covariances.
+
+#include <cmath>
+#include <cstdio>
+
+#include "rfade/channel/spectral.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/scenario/cascaded.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const std::size_t samples = args.get_size("samples", 200000);
+  const std::uint64_t seed = args.get_size("seed", 7);
+
+  // Stage 1: the paper's Eq. (22) spectral covariance.  Stage 2: a
+  // different, unequal-power profile — the cascade composes any two specs.
+  const numeric::CMatrix k1 =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  numeric::CMatrix k2 = numeric::CMatrix::identity(3);
+  k2(0, 0) = 1.5;
+  k2(2, 2) = 0.8;
+  k2(0, 1) = cdouble(0.45, 0.15);
+  k2(1, 0) = cdouble(0.45, -0.15);
+  k2(1, 2) = cdouble(0.3, -0.1);
+  k2(2, 1) = cdouble(0.3, 0.1);
+
+  const scenario::CascadedRayleighGenerator gen(k1, k2);
+  const auto report = gen.envelope_moment_diagnostics(samples, seed);
+
+  support::TablePrinter moments(
+      "cascaded envelope moments vs product-channel theory");
+  moments.set_header({"branch", "E[r] theory", "E[r] meas", "E[r^2] theory",
+                      "E[r^2] meas", "AF meas (theory 3)"});
+  for (std::size_t j = 0; j < gen.dimension(); ++j) {
+    moments.add_row({std::to_string(j + 1),
+                     support::fixed(report.expected_mean[j], 4),
+                     support::fixed(report.measured_mean[j], 4),
+                     support::fixed(report.expected_second_moment[j], 4),
+                     support::fixed(report.measured_second_moment[j], 4),
+                     support::fixed(report.measured_amount_of_fading[j], 3)});
+  }
+  moments.print();
+
+  std::printf(
+      "\ncovariance check: ||K_hat - K1 (.) K2||_F / ||K1 (.) K2||_F = "
+      "%.2e\n",
+      report.covariance_rel_error);
+  std::printf("max mean rel err = %.2e, max E[r^2] rel err = %.2e over %zu "
+              "samples\n",
+              report.max_mean_rel_error, report.max_second_moment_rel_error,
+              report.samples);
+
+  // Deep-fade comparison: the cascade's defining behaviour.  Count
+  // envelope samples below 10%% of the RMS for branch 1 and compare with
+  // the single-Rayleigh prediction P[r < t] = 1 - exp(-t^2/s^2) ~ 1e-2.
+  const numeric::RMatrix envelopes = gen.sample_envelope_stream(samples, seed);
+  const double rms = std::sqrt(gen.envelope_second_moment(0));
+  const double threshold = 0.1 * rms;
+  std::size_t deep = 0;
+  for (std::size_t t = 0; t < envelopes.rows(); ++t) {
+    if (envelopes(t, 0) < threshold) {
+      ++deep;
+    }
+  }
+  const double p_cascaded = static_cast<double>(deep) /
+                            static_cast<double>(envelopes.rows());
+  const double p_rayleigh = 1.0 - std::exp(-0.01);
+  std::printf(
+      "\ndeep fades below 0.1 RMS (branch 1): cascaded %.4f vs Rayleigh "
+      "%.4f\n(cascaded channels spend ~%.1fx longer in deep fades)\n",
+      p_cascaded, p_rayleigh, p_cascaded / p_rayleigh);
+  return 0;
+}

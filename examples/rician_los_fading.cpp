@@ -1,0 +1,65 @@
+// Correlated Rician (LOS) envelopes on the paper's coloring machinery: one
+// shared ColoringPlan of the Sec. 6 spectral scenario feeds a whole
+// K-factor sweep — only the LOS mean changes per scenario, the expensive
+// build phase runs once.
+//
+//   build/examples/rician_los_fading [--samples 120000] [--seed 42]
+//                                    [--phase 0.9]
+//
+// Per K the program validates measured envelope mean/variance against the
+// exact Rician marginal (stats::RicianDistribution) and runs the KS test
+// on the full distribution.  K = 0 is the paper's pure-Rayleigh baseline —
+// bit-identical to running without the scenario layer at all.
+
+#include <cstdio>
+
+#include "rfade/channel/spectral.hpp"
+#include "rfade/core/validation.hpp"
+#include "rfade/scenario/scenario_spec.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const std::size_t samples = args.get_size("samples", 120000);
+  const std::uint64_t seed = args.get_size("seed", 42);
+  const double phase = args.get_double("phase", 0.9);
+
+  // Diffuse correlation: the paper's Eq. (22) spectral scenario.  The plan
+  // (PSD forcing + coloring) is built once and shared by every K below.
+  const numeric::CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+  const auto plan = core::ColoringPlan::create(k);
+
+  support::TablePrinter table(
+      "Rician K-factor sweep on one shared plan (branch 1 shown)");
+  table.set_header({"K", "E[r] theory", "E[r] measured", "mean err",
+                    "var err", "worst KS p"});
+
+  for (const double k_factor : {0.0, 0.5, 1.0, 4.0, 16.0}) {
+    const scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::rician(k, k_factor, phase);
+    core::ValidationOptions options;
+    options.samples = samples;
+    options.seed = seed;
+    options.ks_samples_per_branch = 5000;
+    const auto report = scenario::validate_scenario(spec, plan, options);
+    const stats::RicianDistribution marginal = spec.branch_marginal(*plan, 0);
+
+    table.add_row({support::fixed(k_factor, 1),
+                   support::fixed(marginal.mean(), 4),
+                   support::fixed(report.measured_mean[0], 4),
+                   support::scientific(report.max_mean_rel_error),
+                   support::scientific(report.max_variance_rel_error),
+                   support::fixed(report.worst_ks_p_value, 4)});
+  }
+  table.print();
+
+  std::printf(
+      "\nLOS mean m_j = sqrt(K * K_bar_jj) e^{i phi} is added after "
+      "coloring,\nso the diffuse cross-correlation is untouched and K = 0 "
+      "reproduces the\npure-Rayleigh generator bit-for-bit.\n");
+  return 0;
+}

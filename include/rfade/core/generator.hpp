@@ -35,6 +35,11 @@ struct GeneratorOptions {
   /// statistics; it is kept configurable to mirror the paper exactly (and
   /// to let the real-time generator pass the Eq. (19) value through).
   double sample_variance = 1.0;
+  /// Optional LOS mean vector added after coloring (see
+  /// PipelineOptions::mean_offset); empty = zero-mean Rayleigh.  The
+  /// scenario layer (scenario/scenario_spec.hpp) derives this from
+  /// per-branch Rician K-factors.
+  numeric::CVector mean_offset;
 };
 
 /// Generator of N correlated complex Gaussians / Rayleigh envelopes at

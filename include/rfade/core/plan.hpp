@@ -109,6 +109,14 @@ struct PipelineOptions {
   /// algorithm divides it back out, so any positive value yields identical
   /// statistics; it is kept configurable to mirror the paper exactly.
   double sample_variance = 1.0;
+  /// Optional deterministic (LOS) mean vector m added after coloring:
+  /// Z = L W / sigma_w + m.  Empty (the default) means zero-mean — the
+  /// paper's pure-Rayleigh algorithm.  A non-empty vector must have
+  /// dimension() entries; branch j's envelope |z_j| is then Rician with
+  /// K-factor |m_j|^2 / K_bar_jj (see scenario/scenario_spec.hpp).  An
+  /// all-zero vector is treated exactly like an empty one, so a K = 0
+  /// scenario reproduces the zero-mean output bit-for-bit.
+  numeric::CVector mean_offset;
   /// Rows per block in the batched paths; also the work-unit handed to the
   /// thread pool by sample_stream (and the granularity of the per-block
   /// Philox substreams, so changing it changes the stream's bit pattern).
@@ -138,6 +146,9 @@ class SamplePipeline {
   [[nodiscard]] const PipelineOptions& options() const noexcept {
     return options_;
   }
+
+  /// True when a non-trivial mean offset is applied to every draw.
+  [[nodiscard]] bool has_mean_offset() const noexcept { return has_mean_; }
 
   // --- per-draw path (steps 6-7, one time instant) -------------------------
 
@@ -186,11 +197,12 @@ class SamplePipeline {
   // --- shared coloring of externally-drawn W --------------------------------
 
   /// Color a block of externally-generated white vectors (rows of \p w,
-  /// count x N): out = (w / sqrt(variance)) * L^T.  This is the Sec. 5
-  /// step 6-8 normalisation + coloring used by the real-time generators;
-  /// \p variance is the (assumed) per-branch complex variance divided out.
-  /// variance == 1.0 (input already normalised) skips the scaling pass and
-  /// colors straight from \p w.
+  /// count x N): out = (w / sqrt(variance)) * L^T (+ mean_offset per row
+  /// when configured).  This is the Sec. 5 step 6-8 normalisation +
+  /// coloring used by the real-time generators; \p variance is the
+  /// (assumed) per-branch complex variance divided out.  variance == 1.0
+  /// (input already normalised) skips the scaling pass and colors straight
+  /// from \p w.
   [[nodiscard]] numeric::CMatrix color_block(const numeric::CMatrix& w,
                                              double variance) const;
 
@@ -206,9 +218,14 @@ class SamplePipeline {
   void fill_colored_rows_bulk(std::uint64_t seed, std::uint64_t block_index,
                               std::size_t rows, numeric::cdouble* out) const;
 
+  /// Add the configured mean offset to each of the `rows` N-vectors in
+  /// `out`; no-op when has_mean_offset() is false.
+  void add_mean_rows(std::size_t rows, numeric::cdouble* out) const;
+
   std::shared_ptr<const ColoringPlan> plan_;
   PipelineOptions options_;
   double inv_sigma_w_;
+  bool has_mean_ = false;
 };
 
 }  // namespace rfade::core

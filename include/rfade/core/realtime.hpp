@@ -49,6 +49,12 @@ struct RealTimeOptions {
   /// sigma_orig^2 per dimension at the Doppler-filter inputs.
   double input_variance_per_dim = 0.5;
   VarianceHandling variance_handling = VarianceHandling::AnalyticCorrection;
+  /// Optional LOS mean vector added to every colored time instant
+  /// (constant-phasor specular component): Z_l = L W_l / sigma_g + m.
+  /// Empty = pure Rayleigh.  The diffuse part keeps its Doppler spectrum;
+  /// branch j's envelope becomes Rician with K_j = |m_j|^2 / K_bar_jj
+  /// (see scenario/scenario_spec.hpp for deriving m from K-factors).
+  numeric::CVector los_mean;
   ColoringOptions coloring;
   /// Synthesize the N branch IDFTs concurrently on the global thread pool.
   /// Output is bit-identical either way (spectra are drawn serially).

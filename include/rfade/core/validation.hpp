@@ -14,6 +14,8 @@
 /// chunk index, not thread id).
 
 #include <cstdint>
+#include <functional>
+#include <span>
 
 #include "rfade/core/generator.hpp"
 #include "rfade/numeric/matrix.hpp"
@@ -52,5 +54,63 @@ struct ValidationReport {
 /// Run the validation Monte-Carlo.
 [[nodiscard]] ValidationReport validate_generator(
     const EnvelopeGenerator& generator, const ValidationOptions& options = {});
+
+// --- envelope-domain validation (scenario extensions) ------------------------
+//
+// The Rayleigh-only validator above hardcodes Eqs. (14)-(15) and the
+// Rayleigh CDF.  The scenario layer (Rician/LOS, cascaded Rayleigh) brings
+// other marginal laws, so the envelope-domain machinery is factored out:
+// callers supply one analytic marginal per branch and any deterministic
+// block source of envelopes.
+
+/// Expected marginal law of one envelope branch: analytic mean/variance
+/// plus the CDF for the KS test.
+struct EnvelopeMarginal {
+  double mean = 0.0;
+  double variance = 0.0;
+  std::function<double(double)> cdf;
+};
+
+/// Measured-vs-expected envelope statistics, one entry per branch.
+struct EnvelopeValidationReport {
+  std::size_t samples = 0;
+  /// Measured per-branch envelope mean / variance (the absolute values
+  /// behind the relative errors below).
+  numeric::RVector measured_mean;
+  numeric::RVector measured_variance;
+  numeric::RVector mean_rel_error;
+  numeric::RVector variance_rel_error;
+  /// Relative error of E[r^2] vs (mean^2 + variance) — the moment the
+  /// cascaded-channel theory pins down exactly.
+  numeric::RVector second_moment_rel_error;
+  numeric::RVector ks_p_values;
+  double worst_ks_p_value = 1.0;
+  double max_mean_rel_error = 0.0;
+  double max_variance_rel_error = 0.0;
+  double max_second_moment_rel_error = 0.0;
+};
+
+/// Deterministic envelope-block source: the `count` x dimension envelope
+/// matrix of logical block \p block_index of the stream keyed by \p seed.
+/// Must be a pure function of its arguments (the validator fans blocks
+/// over the thread pool and merges in block order).
+using EnvelopeBlockSource = std::function<numeric::RMatrix(
+    std::size_t count, std::uint64_t seed, std::uint64_t block_index)>;
+
+/// Envelope-domain Monte-Carlo against per-branch analytic marginals.
+/// Chunk boundaries come from options.chunk_size; bit-identical for any
+/// thread count.  \pre marginals.size() == dimension, all variances and
+/// means positive.
+[[nodiscard]] EnvelopeValidationReport validate_envelope_source(
+    std::size_t dimension, const EnvelopeBlockSource& source,
+    std::span<const EnvelopeMarginal> marginals,
+    const ValidationOptions& options = {});
+
+/// Convenience overload drawing envelopes through the pipeline's bulk
+/// batched path (LOS mean offsets included).
+[[nodiscard]] EnvelopeValidationReport validate_envelopes(
+    const SamplePipeline& pipeline,
+    std::span<const EnvelopeMarginal> marginals,
+    const ValidationOptions& options = {});
 
 }  // namespace rfade::core

@@ -33,6 +33,43 @@ class RayleighDistribution {
   double sigma_;
 };
 
+/// Rician (Rice) distribution of the envelope r = |z| of a complex
+/// Gaussian with a deterministic (LOS) mean: z = m + g, |m| = nu,
+/// g ~ CN(0, 2 sigma^2).  The Rician K-factor is the LOS-to-diffuse power
+/// ratio K = nu^2 / (2 sigma^2); K = 0 degenerates to Rayleigh(sigma).
+/// This is the marginal law of the scenario layer's LOS branches
+/// (scenario/scenario_spec.hpp).
+class RicianDistribution {
+ public:
+  /// \pre nu >= 0, sigma > 0.
+  RicianDistribution(double nu, double sigma);
+
+  /// Construct from the K-factor and the *diffuse* complex-Gaussian power
+  /// sigma_g^2 (the covariance diagonal of the scenario's diffuse part):
+  /// sigma = sqrt(sigma_g^2 / 2), nu = sqrt(K sigma_g^2).
+  static RicianDistribution from_k_factor(double k_factor,
+                                          double diffuse_gaussian_power);
+
+  [[nodiscard]] double nu() const noexcept { return nu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  /// K = nu^2 / (2 sigma^2).
+  [[nodiscard]] double k_factor() const;
+
+  [[nodiscard]] double pdf(double r) const;
+  /// CDF 1 - Q_1(nu/sigma, r/sigma), evaluated by adaptive integration of
+  /// the pdf (exponentially-scaled I_0 keeps it stable for any K).
+  [[nodiscard]] double cdf(double r) const;
+  /// Exact mean sigma sqrt(pi/2) L_{1/2}(-K) via scaled Bessel I_0/I_1.
+  [[nodiscard]] double mean() const;
+  /// E[r^2] = 2 sigma^2 + nu^2.
+  [[nodiscard]] double second_moment() const;
+  [[nodiscard]] double variance() const;  ///< second_moment - mean^2
+
+ private:
+  double nu_;
+  double sigma_;
+};
+
 /// Standard normal CDF.
 [[nodiscard]] double normal_cdf(double x);
 

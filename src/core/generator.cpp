@@ -7,6 +7,7 @@ namespace {
 PipelineOptions pipeline_options_from(const GeneratorOptions& options) {
   PipelineOptions pipeline;
   pipeline.sample_variance = options.sample_variance;
+  pipeline.mean_offset = options.mean_offset;
   return pipeline;
 }
 

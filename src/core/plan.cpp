@@ -47,7 +47,34 @@ SamplePipeline::SamplePipeline(std::shared_ptr<const ColoringPlan> plan,
                 "SamplePipeline: sample variance must be positive");
   RFADE_EXPECTS(options_.block_size > 0,
                 "SamplePipeline: block size must be positive");
+  RFADE_EXPECTS(options_.mean_offset.empty() ||
+                    options_.mean_offset.size() == plan_->dimension(),
+                "SamplePipeline: mean offset size must equal dimension");
   inv_sigma_w_ = 1.0 / std::sqrt(options_.sample_variance);
+  // An all-zero mean is the zero-mean (Rayleigh) pipeline: skip the add
+  // pass entirely so a K = 0 scenario stays bit-identical to the plain
+  // path (z + 0.0 could still flip the sign bit of a -0.0 output).
+  for (const numeric::cdouble& m : options_.mean_offset) {
+    if (m != numeric::cdouble{}) {
+      has_mean_ = true;
+      break;
+    }
+  }
+}
+
+void SamplePipeline::add_mean_rows(std::size_t rows,
+                                   numeric::cdouble* out) const {
+  if (!has_mean_) {
+    return;
+  }
+  const std::size_t n = plan_->dimension();
+  const numeric::cdouble* m = options_.mean_offset.data();
+  for (std::size_t t = 0; t < rows; ++t) {
+    numeric::cdouble* row = out + t * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] += m[j];
+    }
+  }
 }
 
 void SamplePipeline::sample_into(random::Rng& rng,
@@ -66,6 +93,9 @@ void SamplePipeline::sample_into(random::Rng& rng,
     for (std::size_t i = 0; i < n; ++i) {
       out[i] += l(i, j) * scaled;
     }
+  }
+  if (has_mean_) {
+    add_mean_rows(1, out.data());
   }
 }
 
@@ -98,6 +128,9 @@ void SamplePipeline::fill_colored_rows(random::Rng& rng, std::size_t rows,
   numeric::multiply_block_raw(w.data(), rows, n,
                               plan_->coloring_matrix_transposed().data(), n,
                               out);
+  if (has_mean_) {
+    add_mean_rows(rows, out);
+  }
 }
 
 numeric::CMatrix SamplePipeline::sample_block(std::size_t count,
@@ -133,6 +166,9 @@ void SamplePipeline::fill_colored_rows_bulk(std::uint64_t seed,
                                  plan_->coloring_transposed_re().data(),
                                  plan_->coloring_transposed_im().data(), n,
                                  out);
+  if (has_mean_) {
+    add_mean_rows(rows, out);
+  }
 }
 
 numeric::CMatrix SamplePipeline::sample_block(std::size_t count,
@@ -184,6 +220,9 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
     numeric::multiply_block_raw(w.data(), w.rows(), n,
                                 plan_->coloring_matrix_transposed().data(), n,
                                 out.data());
+    if (has_mean_) {
+      add_mean_rows(w.rows(), out.data());
+    }
     return out;
   }
   // Sec. 5 steps 6-8: divide by the assumed per-branch complex variance,
@@ -198,6 +237,9 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
   numeric::multiply_block_raw(scaled.data(), w.rows(), n,
                               plan_->coloring_matrix_transposed().data(), n,
                               out.data());
+  if (has_mean_) {
+    add_mean_rows(w.rows(), out.data());
+  }
   return out;
 }
 

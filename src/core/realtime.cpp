@@ -7,6 +7,16 @@
 
 namespace rfade::core {
 
+namespace {
+
+PipelineOptions realtime_pipeline_options(const RealTimeOptions& options) {
+  PipelineOptions pipeline;
+  pipeline.mean_offset = options.los_mean;
+  return pipeline;
+}
+
+}  // namespace
+
 RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
                                      RealTimeOptions options)
     : RealTimeGenerator(ColoringPlan::create(std::move(desired_covariance),
@@ -15,7 +25,7 @@ RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
 
 RealTimeGenerator::RealTimeGenerator(std::shared_ptr<const ColoringPlan> plan,
                                      RealTimeOptions options)
-    : pipeline_(std::move(plan)),
+    : pipeline_(std::move(plan), realtime_pipeline_options(options)),
       branch_(options.idft_size, options.normalized_doppler,
               options.input_variance_per_dim),
       parallel_branches_(options.parallel_branches) {

@@ -1,0 +1,109 @@
+#include "rfade/scenario/scenario_spec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::scenario {
+
+ScenarioSpec::ScenarioSpec(numeric::CMatrix diffuse,
+                           std::vector<RicianBranch> branches)
+    : diffuse_(std::move(diffuse)), branches_(std::move(branches)) {
+  RFADE_EXPECTS(diffuse_.is_square() && diffuse_.rows() > 0,
+                "ScenarioSpec: diffuse covariance must be square, non-empty");
+  RFADE_EXPECTS(branches_.size() == diffuse_.rows(),
+                "ScenarioSpec: one RicianBranch per envelope required");
+  for (const RicianBranch& branch : branches_) {
+    RFADE_EXPECTS(std::isfinite(branch.k_factor) && branch.k_factor >= 0.0,
+                  "ScenarioSpec: K-factor must be finite and non-negative");
+    RFADE_EXPECTS(std::isfinite(branch.los_phase),
+                  "ScenarioSpec: LOS phase must be finite");
+    if (branch.k_factor > 0.0) {
+      has_los_ = true;
+    }
+  }
+}
+
+ScenarioSpec ScenarioSpec::rayleigh(numeric::CMatrix diffuse_covariance) {
+  const std::size_t n = diffuse_covariance.rows();
+  return ScenarioSpec(std::move(diffuse_covariance),
+                      std::vector<RicianBranch>(n));
+}
+
+ScenarioSpec ScenarioSpec::rician(numeric::CMatrix diffuse_covariance,
+                                  double k_factor, double los_phase) {
+  const std::size_t n = diffuse_covariance.rows();
+  return ScenarioSpec(
+      std::move(diffuse_covariance),
+      std::vector<RicianBranch>(n, RicianBranch{k_factor, los_phase}));
+}
+
+ScenarioSpec ScenarioSpec::rician(numeric::CMatrix diffuse_covariance,
+                                  std::vector<RicianBranch> branches) {
+  return ScenarioSpec(std::move(diffuse_covariance), std::move(branches));
+}
+
+std::shared_ptr<const core::ColoringPlan> ScenarioSpec::build_plan(
+    core::ColoringOptions options) const {
+  return core::ColoringPlan::create(diffuse_, options);
+}
+
+numeric::CVector ScenarioSpec::los_mean(const core::ColoringPlan& plan) const {
+  RFADE_EXPECTS(plan.dimension() == dimension(),
+                "ScenarioSpec: plan dimension mismatch");
+  if (!has_los_) {
+    return {};
+  }
+  numeric::CVector mean(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    const double diffuse_power = plan.effective_covariance()(j, j).real();
+    const double amplitude =
+        std::sqrt(branches_[j].k_factor * diffuse_power);
+    mean[j] = std::polar(amplitude, branches_[j].los_phase);
+  }
+  return mean;
+}
+
+core::SamplePipeline ScenarioSpec::make_pipeline(
+    std::shared_ptr<const core::ColoringPlan> plan,
+    core::PipelineOptions options) const {
+  RFADE_EXPECTS(plan != nullptr, "ScenarioSpec: plan must not be null");
+  options.mean_offset = los_mean(*plan);
+  return core::SamplePipeline(std::move(plan), options);
+}
+
+stats::RicianDistribution ScenarioSpec::branch_marginal(
+    const core::ColoringPlan& plan, std::size_t j) const {
+  RFADE_EXPECTS(plan.dimension() == dimension(),
+                "ScenarioSpec: plan dimension mismatch");
+  RFADE_EXPECTS(j < dimension(), "ScenarioSpec: branch index out of range");
+  const double diffuse_power = plan.effective_covariance()(j, j).real();
+  return stats::RicianDistribution::from_k_factor(branches_[j].k_factor,
+                                                  diffuse_power);
+}
+
+std::vector<core::EnvelopeMarginal> ScenarioSpec::marginals(
+    const core::ColoringPlan& plan) const {
+  std::vector<core::EnvelopeMarginal> result;
+  result.reserve(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    const stats::RicianDistribution marginal = branch_marginal(plan, j);
+    result.push_back(core::EnvelopeMarginal{
+        marginal.mean(), marginal.variance(),
+        [marginal](double r) { return marginal.cdf(r); }});
+  }
+  return result;
+}
+
+core::EnvelopeValidationReport validate_scenario(
+    const ScenarioSpec& spec, std::shared_ptr<const core::ColoringPlan> plan,
+    const core::ValidationOptions& options) {
+  RFADE_EXPECTS(plan != nullptr, "validate_scenario: plan must not be null");
+  const std::vector<core::EnvelopeMarginal> marginals =
+      spec.marginals(*plan);
+  const core::SamplePipeline pipeline = spec.make_pipeline(std::move(plan));
+  return core::validate_envelopes(pipeline, marginals, options);
+}
+
+}  // namespace rfade::scenario

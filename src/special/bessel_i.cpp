@@ -1,0 +1,97 @@
+#include "rfade/special/bessel_i.hpp"
+
+#include <cmath>
+
+namespace rfade::special {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Power series I_0(x) = sum (x^2/4)^k / (k!)^2; all terms positive.
+double series_i0(double ax) {
+  const double q = 0.25 * ax * ax;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 200; ++k) {
+    term *= q / (static_cast<double>(k) * static_cast<double>(k));
+    sum += term;
+    if (term < sum * 1e-17) {
+      break;
+    }
+  }
+  return sum;
+}
+
+/// Power series I_1(x) = (x/2) sum (x^2/4)^k / (k! (k+1)!).
+double series_i1(double ax) {
+  const double q = 0.25 * ax * ax;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 200; ++k) {
+    term *= q / (static_cast<double>(k) * static_cast<double>(k + 1));
+    sum += term;
+    if (term < sum * 1e-17) {
+      break;
+    }
+  }
+  return 0.5 * ax * sum;
+}
+
+/// Hankel asymptotic expansion of e^{-x} I_nu(x) for large x (A&S 9.7.1):
+/// sum_k (-1)^k prod_{j<=k}(mu - (2j-1)^2) / (k! (8x)^k) / sqrt(2 pi x),
+/// mu = 4 nu^2.  The terms shrink until k ~ x, far past truncation here.
+double asymptotic_scaled(double ax, double mu) {
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 30; ++k) {
+    const double odd = 2.0 * k - 1.0;
+    const double next = term * (odd * odd - mu) / (8.0 * ax * k);
+    if (std::abs(next) >= std::abs(term)) {
+      break;  // asymptotic series started diverging; stop at the smallest term
+    }
+    term = next;
+    sum += term;
+    if (std::abs(term) < sum * 1e-17) {
+      break;
+    }
+  }
+  return sum / std::sqrt(kTwoPi * ax);
+}
+
+constexpr double kSeriesCutoff = 30.0;
+
+}  // namespace
+
+double bessel_i0(double x) {
+  const double ax = std::abs(x);
+  if (ax <= kSeriesCutoff) {
+    return series_i0(ax);
+  }
+  return std::exp(ax) * asymptotic_scaled(ax, 0.0);
+}
+
+double bessel_i1(double x) {
+  const double ax = std::abs(x);
+  const double value = ax <= kSeriesCutoff
+                           ? series_i1(ax)
+                           : std::exp(ax) * asymptotic_scaled(ax, 4.0);
+  return x < 0.0 ? -value : value;
+}
+
+double bessel_i0e(double x) {
+  const double ax = std::abs(x);
+  if (ax <= kSeriesCutoff) {
+    return std::exp(-ax) * series_i0(ax);
+  }
+  return asymptotic_scaled(ax, 0.0);
+}
+
+double bessel_i1e(double x) {
+  const double ax = std::abs(x);
+  const double value = ax <= kSeriesCutoff ? std::exp(-ax) * series_i1(ax)
+                                           : asymptotic_scaled(ax, 4.0);
+  return x < 0.0 ? -value : value;
+}
+
+}  // namespace rfade::special

@@ -1,9 +1,11 @@
-// Tests for the incomplete gamma functions and Kolmogorov distribution.
+// Tests for the incomplete gamma functions, the modified Bessel functions
+// I_0/I_1 (Rician support), and the Kolmogorov distribution.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "rfade/special/bessel_i.hpp"
 #include "rfade/special/gamma.hpp"
 #include "rfade/special/kolmogorov.hpp"
 #include "rfade/support/error.hpp"
@@ -93,6 +95,45 @@ TEST(Kolmogorov, Monotone) {
     EXPECT_LE(q, 1.0);
     previous = q;
   }
+}
+
+TEST(BesselI, MatchesStandardLibrary) {
+  // Spans the series (<= 30) and asymptotic (> 30) regimes; libstdc++'s
+  // std::cyl_bessel_i is the reference.
+  for (const double x : {0.0, 0.05, 0.5, 1.0, 4.0, 12.0, 25.0, 29.9, 30.1,
+                         45.0, 100.0, 400.0}) {
+    const double ref0 = std::cyl_bessel_i(0.0, x);
+    const double ref1 = std::cyl_bessel_i(1.0, x);
+    EXPECT_NEAR(rfade::special::bessel_i0(x), ref0, 1e-12 * ref0 + 1e-14)
+        << "x=" << x;
+    EXPECT_NEAR(rfade::special::bessel_i1(x), ref1,
+                1e-12 * std::abs(ref1) + 1e-14)
+        << "x=" << x;
+  }
+}
+
+TEST(BesselI, ScaledVariantsAndParity) {
+  for (const double x : {0.2, 3.0, 17.0, 29.0, 60.0, 250.0}) {
+    // Scaled agrees with e^{-x} I(x) where the unscaled value is finite.
+    EXPECT_NEAR(rfade::special::bessel_i0e(x),
+                std::exp(-x) * rfade::special::bessel_i0(x),
+                1e-12 * rfade::special::bessel_i0e(x))
+        << "x=" << x;
+    EXPECT_NEAR(rfade::special::bessel_i1e(x),
+                std::exp(-x) * rfade::special::bessel_i1(x),
+                1e-12 * std::abs(rfade::special::bessel_i1e(x)))
+        << "x=" << x;
+    // I0 even, I1 odd.
+    EXPECT_DOUBLE_EQ(rfade::special::bessel_i0(-x),
+                     rfade::special::bessel_i0(x));
+    EXPECT_DOUBLE_EQ(rfade::special::bessel_i1(-x),
+                     -rfade::special::bessel_i1(x));
+  }
+  // The scaled forms stay finite far past the e^709 overflow of I itself.
+  EXPECT_GT(rfade::special::bessel_i0e(5000.0), 0.0);
+  EXPECT_TRUE(std::isfinite(rfade::special::bessel_i0e(5000.0)));
+  EXPECT_DOUBLE_EQ(rfade::special::bessel_i0(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rfade::special::bessel_i1(0.0), 0.0);
 }
 
 TEST(Kolmogorov, PValueScalesWithSampleSize) {

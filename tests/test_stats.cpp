@@ -196,6 +196,79 @@ TEST(Distributions, RayleighFromGaussianPowerMatchesPaperConstants) {
   EXPECT_NEAR(r.variance(), 0.2146 * sigma_g2, 1e-4);
 }
 
+TEST(Distributions, RicianMomentsAndLimits) {
+  // K = 0 is exactly Rayleigh.
+  const auto rayleigh = stats::RayleighDistribution::from_gaussian_power(2.0);
+  const auto k0 = stats::RicianDistribution::from_k_factor(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(k0.nu(), 0.0);
+  EXPECT_NEAR(k0.mean(), rayleigh.mean(), 1e-13);
+  EXPECT_NEAR(k0.variance(), rayleigh.variance(), 1e-12);
+  for (const double r : {0.2, 0.8, 1.5, 3.0}) {
+    EXPECT_NEAR(k0.pdf(r), rayleigh.pdf(r), 1e-12);
+    EXPECT_NEAR(k0.cdf(r), rayleigh.cdf(r), 1e-9);
+  }
+
+  // Moments: E[r^2] = 2 sigma^2 + nu^2 always; and for K >> 1 the
+  // distribution concentrates near nu (mean -> nu, variance -> sigma^2).
+  const auto rician = stats::RicianDistribution::from_k_factor(4.0, 2.0);
+  EXPECT_NEAR(rician.second_moment(),
+              2.0 * rician.sigma() * rician.sigma() +
+                  rician.nu() * rician.nu(),
+              1e-13);
+  EXPECT_NEAR(rician.k_factor(), 4.0, 1e-13);
+  const auto large_k = stats::RicianDistribution::from_k_factor(400.0, 2.0);
+  EXPECT_NEAR(large_k.mean(), large_k.nu(), 0.01 * large_k.nu());
+  EXPECT_NEAR(large_k.variance(), large_k.sigma() * large_k.sigma(),
+              0.01 * large_k.sigma() * large_k.sigma());
+}
+
+TEST(Distributions, RicianCdfPdfConsistency) {
+  const auto rician = stats::RicianDistribution::from_k_factor(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(rician.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rician.cdf(-1.0), 0.0);
+  EXPECT_NEAR(rician.cdf(rician.nu() + 50.0 * rician.sigma()), 1.0, 1e-12);
+  // Far-tail band: every r past the bulk must give 1, never collapse back
+  // towards 0 (regression: the adaptive stencil used to miss the bulk
+  // when all its initial points landed in the deep tail).
+  for (const double r : {10.0, 20.0, 28.0, 29.0, 35.0, 100.0}) {
+    EXPECT_NEAR(rician.cdf(r), 1.0, 1e-9) << "r=" << r;
+  }
+  // Large K concentrates the density in a narrow peak around nu; the
+  // integration window must still find it.
+  const auto huge = stats::RicianDistribution::from_k_factor(10000.0, 2.0);
+  EXPECT_NEAR(huge.cdf(huge.nu()), 0.5, 0.01);
+  EXPECT_NEAR(huge.cdf(huge.nu() + 9.0 * huge.sigma()), 1.0, 1e-9);
+  EXPECT_LT(huge.cdf(huge.nu() - 9.0 * huge.sigma()), 1e-9);
+  // CDF is the integral of the pdf: finite-difference spot check, plus
+  // monotonicity across the support.
+  double previous = 0.0;
+  for (double r = 0.1; r < 5.0; r += 0.1) {
+    const double c = rician.cdf(r);
+    EXPECT_GE(c, previous);
+    previous = c;
+    const double h = 1e-5;
+    EXPECT_NEAR((rician.cdf(r + h) - rician.cdf(r - h)) / (2 * h),
+                rician.pdf(r), 1e-5);
+  }
+  // Mean/variance agree with direct numeric integration of the pdf.
+  double mean = 0.0;
+  double m2 = 0.0;
+  const double hi = rician.nu() + 10.0 * rician.sigma();
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    const double r = (i + 0.5) * hi / steps;
+    const double w = rician.pdf(r) * hi / steps;
+    mean += r * w;
+    m2 += r * r * w;
+  }
+  EXPECT_NEAR(rician.mean(), mean, 1e-6);
+  EXPECT_NEAR(rician.variance(), m2 - mean * mean, 1e-6);
+  EXPECT_THROW((void)stats::RicianDistribution(-1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)stats::RicianDistribution(1.0, 0.0), ContractViolation);
+  EXPECT_THROW((void)stats::RicianDistribution::from_k_factor(-0.1, 1.0),
+               ContractViolation);
+}
+
 TEST(Distributions, NormalAndExponential) {
   EXPECT_NEAR(stats::normal_cdf(0.0), 0.5, 1e-15);
   EXPECT_NEAR(stats::normal_cdf(1.96), 0.975, 1e-3);
