@@ -13,18 +13,27 @@ committed baseline was recorded on a single-core machine, so the parallel
 path's baseline speedup is its single-core floor — any multicore CI
 runner clears it with margin unless the batched path itself regresses.
 
+Baselines are per-compiler (speedup ratios are codegen-dependent):
+pass --compiler NAME to resolve bench/baseline_throughput_NAME.json when
+it exists, falling back to the default g++ baseline otherwise.  An
+explicit --baseline always wins.
+
 Usage:
   check_regression.py --current BENCH_x.json [--baseline bench/baseline_throughput.json]
-                      [--tolerance 0.25] [--pattern REGEX] [--absolute]
+                      [--compiler g++|clang++] [--tolerance 0.25]
+                      [--pattern REGEX] [--absolute]
 
 Exit status: 0 OK, 1 regression, 2 usage/data error.
 """
 
 import argparse
 import json
+import os
 import re
 import statistics
 import sys
+
+DEFAULT_BASELINE = "bench/baseline_throughput.json"
 
 REFERENCE = "PerSampleBlockBaseline"
 DEFAULT_PATTERN = r"^(BatchedBlockSerial|BatchedStreamParallel)"
@@ -87,8 +96,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True,
                         help="fresh --benchmark_out JSON")
-    parser.add_argument("--baseline",
-                        default="bench/baseline_throughput.json")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline JSON (overrides --compiler "
+                             f"resolution; default {DEFAULT_BASELINE})")
+    parser.add_argument("--compiler", default=None,
+                        help="resolve bench/baseline_throughput_<NAME>.json "
+                             "when present (e.g. clang++)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="max fractional drop vs baseline (default 0.25)")
     parser.add_argument("--pattern", default=DEFAULT_PATTERN,
@@ -98,14 +111,28 @@ def main():
                              "per-sample-normalized speedup")
     opts = parser.parse_args()
 
+    baseline_path = opts.baseline
+    if baseline_path is None:
+        baseline_path = DEFAULT_BASELINE
+        if opts.compiler:
+            per_compiler = os.path.join(
+                os.path.dirname(DEFAULT_BASELINE),
+                f"baseline_throughput_{opts.compiler}.json")
+            if os.path.exists(per_compiler):
+                baseline_path = per_compiler
+            else:
+                print(f"note: no per-compiler baseline {per_compiler}; "
+                      f"falling back to {DEFAULT_BASELINE}")
+    print(f"baseline: {baseline_path}")
+
     current = load_items_per_second(opts.current)
-    baseline = load_items_per_second(opts.baseline)
+    baseline = load_items_per_second(baseline_path)
     gate = re.compile(opts.pattern)
 
     gated = [n for n in baseline if gate.search(n)]
     if not gated:
         die(f"error: pattern {opts.pattern!r} matches nothing in "
-            f"{opts.baseline}")
+            f"{baseline_path}")
 
     failures = []
     checked = 0

@@ -1,0 +1,110 @@
+// Real-time cascaded Rayleigh fading — the mobile-to-mobile product
+// channel (Ibdah & Ding) with both ends moving: two independently
+// Doppler-faded stages multiplied per time instant.
+//
+//   build/examples/realtime_cascaded [--fm1 0.05] [--fm2 0.11]
+//       [--idft 2048] [--blocks 30] [--seed 9]
+//
+// Verifies the product accounting: the cascaded branch autocorrelation
+// follows rho1(d) rho2(d) — for equal-power stages the classical
+// Akki-Haber J0(2 pi fm1 d) J0(2 pi fm2 d) shape — and the per-instant
+// envelope marginal is the closed-form Bessel-K double-Rayleigh law.
+
+#include <cmath>
+#include <cstdio>
+
+#include "rfade/channel/spectral.hpp"
+#include "rfade/scenario/timevarying/cascaded_realtime.hpp"
+#include "rfade/special/bessel.hpp"
+#include "rfade/stats/autocorrelation.hpp"
+#include "rfade/stats/ks_test.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const double fm1 = args.get_double("fm1", 0.05);
+  const double fm2 = args.get_double("fm2", 0.11);
+  const std::size_t idft = args.get_size("idft", 2048);
+  const int blocks = static_cast<int>(args.get_size("blocks", 30));
+  const std::uint64_t seed = args.get_size("seed", 9);
+
+  const numeric::CMatrix k =
+      channel::spectral_covariance_matrix(channel::paper_spectral_scenario());
+
+  scenario::CascadedRealTimeOptions options;
+  options.idft_size = idft;
+  options.first_doppler = fm1;
+  options.second_doppler = fm2;
+  const scenario::CascadedRealTimeGenerator generator(k, k, options);
+
+  std::printf("cascaded real-time generator: N = %zu, M = %zu, stage "
+              "Dopplers fm1 = %.3f, fm2 = %.3f\n",
+              generator.dimension(), generator.block_size(), fm1, fm2);
+
+  // Measured product autocorrelation vs rho1 rho2 (and the J0 J0 shape).
+  const std::size_t max_lag = 50;
+  numeric::CVector accumulated(max_lag + 1);
+  stats::RunningStats envelope_stats;
+  numeric::RVector thinned;
+  const std::size_t stride = 48;
+  for (int b = 0; b < blocks; ++b) {
+    const numeric::CMatrix block =
+        generator.generate_block(seed, static_cast<std::uint64_t>(b));
+    numeric::CVector series(block.rows());
+    for (std::size_t l = 0; l < block.rows(); ++l) {
+      series[l] = block(l, 0);
+      const double r = std::abs(block(l, 0));
+      envelope_stats.add(r);
+      if (l % stride == 0) {
+        thinned.push_back(r);
+      }
+    }
+    const numeric::CVector rho = stats::autocorrelation(
+        series, max_lag, stats::AutocorrMode::Unbiased);
+    for (std::size_t d = 0; d <= max_lag; ++d) {
+      accumulated[d] += rho[d] / double(blocks);
+    }
+  }
+
+  const numeric::RVector rho_product =
+      generator.theoretical_normalized_autocorrelation(max_lag);
+  const double power = generator.effective_covariance()(0, 0).real();
+  support::TablePrinter table(
+      "cascaded autocorrelation vs product of stage laws");
+  table.set_header({"lag", "measured", "rho1*rho2", "J0*J0"});
+  for (std::size_t d = 0; d <= max_lag; d += 5) {
+    table.add_row(
+        {std::to_string(d), support::fixed(accumulated[d].real() / power, 4),
+         support::fixed(rho_product[d], 4),
+         support::fixed(special::bessel_j0(2.0 * M_PI * fm1 * double(d)) *
+                            special::bessel_j0(2.0 * M_PI * fm2 * double(d)),
+                        4)});
+  }
+  table.print();
+
+  // Per-instant marginal: the closed-form double-Rayleigh law.
+  const auto marginal = generator.branch_marginal(0);
+  const auto ks = stats::ks_test(
+      thinned, [&marginal](double r) { return marginal.cdf(r); });
+  std::printf(
+      "\nenvelope marginal (branch 1): measured E[r] = %.4f vs theory %.4f, "
+      "E[r^2] = %.4f vs %.4f\nKS vs double-Rayleigh CDF on %zu thinned "
+      "samples: D = %.4f, p = %.3f\n",
+      envelope_stats.mean(), marginal.mean(),
+      envelope_stats.variance() +
+          envelope_stats.mean() * envelope_stats.mean(),
+      marginal.second_moment(), ks.n, ks.statistic, ks.p_value);
+
+  // The cascade's deep-fade signature survives the Doppler shaping.
+  const double rms = std::sqrt(marginal.second_moment());
+  const double p_deep = marginal.cdf(0.1 * rms);
+  std::printf(
+      "\nP[r < 0.1 RMS] = %.4f analytically vs %.4f for single Rayleigh "
+      "(%.1fx longer in deep fades)\n",
+      p_deep, 1.0 - std::exp(-0.01), p_deep / (1.0 - std::exp(-0.01)));
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include <span>
 
 #include "rfade/core/coloring.hpp"
+#include "rfade/core/mean_source.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
 
@@ -109,14 +110,19 @@ struct PipelineOptions {
   /// algorithm divides it back out, so any positive value yields identical
   /// statistics; it is kept configurable to mirror the paper exactly.
   double sample_variance = 1.0;
-  /// Optional deterministic (LOS) mean vector m added after coloring:
-  /// Z = L W / sigma_w + m.  Empty (the default) means zero-mean — the
-  /// paper's pure-Rayleigh algorithm.  A non-empty vector must have
-  /// dimension() entries; branch j's envelope |z_j| is then Rician with
-  /// K-factor |m_j|^2 / K_bar_jj (see scenario/scenario_spec.hpp).  An
-  /// all-zero vector is treated exactly like an empty one, so a K = 0
-  /// scenario reproduces the zero-mean output bit-for-bit.
-  numeric::CVector mean_offset;
+  /// Optional deterministic specular mean m(l) added after coloring:
+  /// Z_l = L W_l / sigma_w + m(l).  The default (zero) MeanSource is the
+  /// paper's pure-Rayleigh algorithm; assigning a CVector (implicitly
+  /// converted) gives PR 2's constant LOS mean — branch j's envelope
+  /// |z_j| is then Rician with K-factor |m_j|^2 / K_bar_jj (see
+  /// scenario/scenario_spec.hpp) — and the time-varying forms
+  /// (Doppler-shifted LOS phasor, TWDP phasor pair, precomputed block)
+  /// index the mean by the absolute time instant of each row (see
+  /// core/mean_source.hpp for how each draw path assigns instants).  A
+  /// non-zero mean must have dimension() entries; an all-zero mean is
+  /// treated exactly like the default, so a K = 0 scenario reproduces
+  /// the zero-mean output bit-for-bit.
+  MeanSource mean_offset;
   /// Rows per block in the batched paths; also the work-unit handed to the
   /// thread pool by sample_stream (and the granularity of the per-block
   /// Philox substreams, so changing it changes the stream's bit pattern).
@@ -150,25 +156,37 @@ class SamplePipeline {
   /// True when a non-trivial mean offset is applied to every draw.
   [[nodiscard]] bool has_mean_offset() const noexcept { return has_mean_; }
 
+  /// True when the mean offset depends on the time instant (so draw paths
+  /// must be given a meaningful first_instant).
+  [[nodiscard]] bool has_time_varying_mean() const noexcept {
+    return has_mean_ && options_.mean_offset.is_time_varying();
+  }
+
   // --- per-draw path (steps 6-7, one time instant) -------------------------
 
-  /// Write one draw Z = L W / sigma_w into \p out (size N).
-  void sample_into(random::Rng& rng, std::span<numeric::cdouble> out) const;
+  /// Write one draw Z = L W / sigma_w + m(\p instant) into \p out
+  /// (size N).  \p instant only matters for time-varying means.
+  void sample_into(random::Rng& rng, std::span<numeric::cdouble> out,
+                   std::uint64_t instant = 0) const;
 
   /// One draw of N correlated complex Gaussians.
-  [[nodiscard]] numeric::CVector sample(random::Rng& rng) const;
+  [[nodiscard]] numeric::CVector sample(random::Rng& rng,
+                                        std::uint64_t instant = 0) const;
 
   /// One draw of the envelopes r_j = |z_j|.
-  [[nodiscard]] numeric::RVector sample_envelopes(random::Rng& rng) const;
+  [[nodiscard]] numeric::RVector sample_envelopes(
+      random::Rng& rng, std::uint64_t instant = 0) const;
 
   // --- batched paths --------------------------------------------------------
 
   /// \p count draws stacked row-wise into a count x N matrix.  Consumes
   /// \p rng in exactly the per-draw order (row-major W), and the blocked
   /// GEMM accumulates in matvec order — the result is bit-identical to
-  /// calling sample_into count times.
-  [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
-                                              random::Rng& rng) const;
+  /// calling sample_into count times (row t at instant
+  /// \p first_instant + t).
+  [[nodiscard]] numeric::CMatrix sample_block(
+      std::size_t count, random::Rng& rng,
+      std::uint64_t first_instant = 0) const;
 
   /// One deterministic block keyed by (\p seed, \p block_index): the i.i.d.
   /// draws are the Philox bulk substream (seed, block_index + 1) of
@@ -178,15 +196,38 @@ class SamplePipeline {
   /// vectorized RNG + planar GEMM; statistically identical to the per-draw
   /// path but its own bit-stream.  Invariant to options().sample_variance
   /// (the sigma_w of step 6 cancels exactly, so the batched path draws at
-  /// unit variance directly).
+  /// unit variance directly).  Row t carries the mean at instant
+  /// \p first_instant + t; the three-argument form assigns
+  /// first_instant = block_index * options().block_size, matching the
+  /// instants sample_stream gives the same rows.
   [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
                                               std::uint64_t seed,
                                               std::uint64_t block_index) const;
 
+  /// Same deterministic block with an explicit first time instant for
+  /// the mean trajectory.
+  [[nodiscard]] numeric::CMatrix sample_block(std::size_t count,
+                                              std::uint64_t seed,
+                                              std::uint64_t block_index,
+                                              std::uint64_t first_instant)
+      const;
+
+  /// The same deterministic bulk block written into caller memory
+  /// (\p out, row-major count x N) — the zero-copy form composite
+  /// generators build their streams on, so block assembly needs no
+  /// per-chunk temporary.  Bit-identical to the matrix-returning
+  /// overloads.
+  void sample_block_into(std::size_t count, std::uint64_t seed,
+                         std::uint64_t block_index,
+                         std::uint64_t first_instant,
+                         std::span<numeric::cdouble> out) const;
+
   /// \p count draws as a count x N matrix, generated block-by-block
   /// (options().block_size rows per block, per-block substreams of \p seed)
   /// and fanned over the global thread pool when options().parallel.
-  /// Bit-identical for any thread count, including serial.
+  /// Bit-identical for any thread count, including serial.  Row t carries
+  /// the mean at instant t (each block starts at its absolute offset, so
+  /// the trajectory is continuous across blocks).
   [[nodiscard]] numeric::CMatrix sample_stream(std::size_t count,
                                                std::uint64_t seed) const;
 
@@ -197,30 +238,35 @@ class SamplePipeline {
   // --- shared coloring of externally-drawn W --------------------------------
 
   /// Color a block of externally-generated white vectors (rows of \p w,
-  /// count x N): out = (w / sqrt(variance)) * L^T (+ mean_offset per row
-  /// when configured).  This is the Sec. 5 step 6-8 normalisation +
-  /// coloring used by the real-time generators; \p variance is the
-  /// (assumed) per-branch complex variance divided out.  variance == 1.0
-  /// (input already normalised) skips the scaling pass and colors straight
-  /// from \p w.
-  [[nodiscard]] numeric::CMatrix color_block(const numeric::CMatrix& w,
-                                             double variance) const;
+  /// count x N): out = (w / sqrt(variance)) * L^T (+ the mean at instant
+  /// \p first_instant + t on row t when configured).  This is the Sec. 5
+  /// step 6-8 normalisation + coloring used by the real-time generators;
+  /// \p variance is the (assumed) per-branch complex variance divided
+  /// out.  variance == 1.0 (input already normalised) skips the scaling
+  /// pass and colors straight from \p w.
+  [[nodiscard]] numeric::CMatrix color_block(
+      const numeric::CMatrix& w, double variance,
+      std::uint64_t first_instant = 0) const;
 
  private:
   /// Draw `rows` white vectors scaled by 1/sigma_w from \p rng and color
   /// them into `out` (row-major, `rows` x N, caller-owned).  Per-draw
   /// bit-compatible path.
   void fill_colored_rows(random::Rng& rng, std::size_t rows,
+                         std::uint64_t first_instant,
                          numeric::cdouble* out) const;
 
   /// Bulk throughput path: rows x N colored draws of logical block
-  /// \p block_index of the stream keyed by \p seed, written to `out`.
+  /// \p block_index of the stream keyed by \p seed, written to `out`;
+  /// mean rows start at \p first_instant.
   void fill_colored_rows_bulk(std::uint64_t seed, std::uint64_t block_index,
-                              std::size_t rows, numeric::cdouble* out) const;
+                              std::uint64_t first_instant, std::size_t rows,
+                              numeric::cdouble* out) const;
 
-  /// Add the configured mean offset to each of the `rows` N-vectors in
-  /// `out`; no-op when has_mean_offset() is false.
-  void add_mean_rows(std::size_t rows, numeric::cdouble* out) const;
+  /// Add the configured mean m(first_instant + t) to row t of the `rows`
+  /// N-vectors in `out`; no-op when has_mean_offset() is false.
+  void add_mean_rows(std::uint64_t first_instant, std::size_t rows,
+                     numeric::cdouble* out) const;
 
   std::shared_ptr<const ColoringPlan> plan_;
   PipelineOptions options_;

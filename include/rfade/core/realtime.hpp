@@ -49,12 +49,19 @@ struct RealTimeOptions {
   /// sigma_orig^2 per dimension at the Doppler-filter inputs.
   double input_variance_per_dim = 0.5;
   VarianceHandling variance_handling = VarianceHandling::AnalyticCorrection;
-  /// Optional LOS mean vector added to every colored time instant
-  /// (constant-phasor specular component): Z_l = L W_l / sigma_g + m.
-  /// Empty = pure Rayleigh.  The diffuse part keeps its Doppler spectrum;
-  /// branch j's envelope becomes Rician with K_j = |m_j|^2 / K_bar_jj
-  /// (see scenario/scenario_spec.hpp for deriving m from K-factors).
-  numeric::CVector los_mean;
+  /// Optional specular mean m(l) added to every colored time instant:
+  /// Z_l = L W_l / sigma_g + m(l).  Zero (the default) = pure Rayleigh; a
+  /// CVector (implicitly converted) is the constant-phasor LOS of a
+  /// static terminal; MeanSource::doppler_phasor gives a moving terminal
+  /// the line-of-sight Doppler shift m_j e^{i 2 pi f_LOS l}; a phasor
+  /// pair is the deterministic-phase real-time TWDP mode (see
+  /// scenario/timevarying/twdp.hpp).  The diffuse part keeps its Doppler
+  /// spectrum; with any single-phasor mean branch j's envelope is Rician
+  /// with K_j = |m_j|^2 / K_bar_jj (see scenario/scenario_spec.hpp for
+  /// deriving m from K-factors).  Time instants restart at 0 for each
+  /// generate_block(rng) call; pass a first_instant to continue a
+  /// trajectory across blocks.
+  MeanSource los_mean;
   ColoringOptions coloring;
   /// Synthesize the N branch IDFTs concurrently on the global thread pool.
   /// Output is bit-identical either way (spectra are drawn serially).
@@ -83,12 +90,15 @@ class RealTimeGenerator {
     return branch_.block_size();
   }
 
-  /// One block: M x N complex Gaussians; row l is the vector Z at time l.
-  [[nodiscard]] numeric::CMatrix generate_block(random::Rng& rng) const;
+  /// One block: M x N complex Gaussians; row l is the vector Z at time
+  /// \p first_instant + l (the offset only matters for a time-varying
+  /// LOS mean — see RealTimeOptions::los_mean).
+  [[nodiscard]] numeric::CMatrix generate_block(
+      random::Rng& rng, std::uint64_t first_instant = 0) const;
 
   /// One block of envelopes |Z|: M x N.
   [[nodiscard]] numeric::RMatrix generate_envelope_block(
-      random::Rng& rng) const;
+      random::Rng& rng, std::uint64_t first_instant = 0) const;
 
   /// Analytic per-branch output variance sigma_g^2 (Eq. 19).
   [[nodiscard]] double branch_output_variance() const noexcept {

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "rfade/core/generator.hpp"
 #include "rfade/numeric/matrix.hpp"
@@ -70,6 +72,30 @@ struct EnvelopeMarginal {
   double variance = 0.0;
   std::function<double(double)> cdf;
 };
+
+/// Build the per-branch marginal list from any analytic distribution
+/// family: \p branch_marginal(j) must return a copyable object exposing
+/// mean(), variance() and cdf(double) — RicianDistribution,
+/// DoubleRayleighDistribution, TwdpDistribution, ...  Shared by every
+/// scenario's marginals() so the EnvelopeMarginal wiring lives in one
+/// place.
+template <typename BranchMarginalFn>
+[[nodiscard]] std::vector<EnvelopeMarginal> make_marginals(
+    std::size_t dimension, BranchMarginalFn&& branch_marginal) {
+  std::vector<EnvelopeMarginal> result;
+  result.reserve(dimension);
+  for (std::size_t j = 0; j < dimension; ++j) {
+    auto marginal = branch_marginal(j);
+    const double mean = marginal.mean();
+    const double variance = marginal.variance();
+    result.push_back(EnvelopeMarginal{
+        mean, variance,
+        [marginal = std::move(marginal)](double r) {
+          return marginal.cdf(r);
+        }});
+  }
+  return result;
+}
 
 /// Measured-vs-expected envelope statistics, one entry per branch.
 struct EnvelopeValidationReport {

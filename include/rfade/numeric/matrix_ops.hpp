@@ -23,6 +23,10 @@ namespace rfade::numeric {
 /// Element-wise imaginary parts.
 [[nodiscard]] RMatrix imag_part(const CMatrix& a);
 
+/// Element-wise moduli |a_ij| — the envelope matrix of a block of
+/// complex samples.
+[[nodiscard]] RMatrix elementwise_abs(const CMatrix& a);
+
 /// Diagonal matrix from a vector.
 [[nodiscard]] CMatrix diag(const CVector& d);
 [[nodiscard]] CMatrix diag(const RVector& d);

@@ -33,9 +33,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "rfade/core/plan.hpp"
+#include "rfade/core/validation.hpp"
 #include "rfade/numeric/matrix.hpp"
+#include "rfade/stats/distributions.hpp"
 
 namespace rfade::scenario {
 
@@ -102,6 +105,15 @@ class CascadedRayleighGenerator {
 
   // --- theory (per branch, from the stage effective diagonals) -------------
 
+  /// Closed-form double-Rayleigh marginal of branch \p j (envelope CDF
+  /// 1 - x K_1(x) via Bessel K), from the stage effective diagonals —
+  /// what upgrades the cascaded validator from moment checks to KS tests.
+  [[nodiscard]] stats::DoubleRayleighDistribution branch_marginal(
+      std::size_t j) const;
+
+  /// All N marginals for core::validate_envelope_source.
+  [[nodiscard]] std::vector<core::EnvelopeMarginal> marginals() const;
+
   /// E[r_j] = (pi/4) sigma_1j sigma_2j.
   [[nodiscard]] double envelope_mean(std::size_t j) const;
   /// E[r_j^2] = sigma_1j^2 sigma_2j^2.
@@ -147,5 +159,12 @@ class CascadedRayleighGenerator {
   CascadedOptions options_;
   numeric::CMatrix effective_;
 };
+
+/// One-call envelope-domain validation of a cascaded generator against
+/// its closed-form double-Rayleigh marginals — KS tests on the exact
+/// Bessel-K CDF, not just moment checks.
+[[nodiscard]] core::EnvelopeValidationReport validate_cascaded(
+    const CascadedRayleighGenerator& generator,
+    const core::ValidationOptions& options = {});
 
 }  // namespace rfade::scenario

@@ -89,6 +89,14 @@ class ScenarioSpec {
   /// to the plain Rayleigh one.
   [[nodiscard]] numeric::CVector los_mean(const core::ColoringPlan& plan) const;
 
+  /// Moving-terminal LOS: the same mean with the line-of-sight Doppler
+  /// shift applied per time instant, m_j(l) = m_j e^{i 2 pi f_LOS l}
+  /// (core::MeanSource::doppler_phasor), for RealTimeOptions::los_mean or
+  /// any pipeline mean hook.  Zero when the scenario has no LOS
+  /// component.  \pre |normalized_los_doppler| <= 0.5, finite.
+  [[nodiscard]] core::MeanSource doppler_los_mean(
+      const core::ColoringPlan& plan, double normalized_los_doppler) const;
+
   /// Draw-phase executor with the LOS mean threaded into the batched /
   /// streamed / per-draw hot paths.  \p options.mean_offset is overwritten.
   [[nodiscard]] core::SamplePipeline make_pipeline(

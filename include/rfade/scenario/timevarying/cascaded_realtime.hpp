@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file cascaded_realtime.hpp
+/// \brief Real-time (Doppler-faded) cascaded Rayleigh generation: the
+///        product of two independently Doppler-faded stages.
+///
+/// The instant-mode cascade (scenario/cascaded.hpp, after Ibdah & Ding,
+/// "Statistical Simulation Models for Cascaded Rayleigh Fading
+/// Channels") multiplies two independent correlated draws per time
+/// instant.  Mobile-to-mobile channels are the *real-time* version of
+/// the same product: both ends move, so each stage is a full Sec. 5
+/// Doppler-faded process with its own maximum Doppler, and each time
+/// instant multiplies the two stage vectors elementwise:
+///
+///   Z[l] = Z1[l] (.) Z2[l],   Z_s[l] = L_s W_s[l] / sigma_g_s
+///
+/// with stage s an rfade::core::RealTimeGenerator (Young-Beaulieu IDFT
+/// branches + Eq. (19) variance correction) on its own ColoringPlan and
+/// its own disjoint Philox key space (CascadedRayleighGenerator's
+/// stage_seed derivation), so blocks are pure functions of
+/// (seed, block index).
+///
+/// Product accounting, for independent zero-mean stages:
+///   * covariance: E[z_k conj(z_j)] = K1_kj K2_kj — the Hadamard product
+///     of the stage effective covariances (Schur keeps it PSD);
+///   * autocorrelation: R_j(d) = K1_jj K2_jj rho1(d) rho2(d) — the
+///     *product* of the stage branch autocorrelations, each the
+///     J0-approximating Eq. (17) law of its own Doppler filter.  For
+///     equal-power stages with Dopplers fm1, fm2 this is the classical
+///     Akki-Haber mobile-to-mobile J0(2 pi fm1 d) J0(2 pi fm2 d) shape;
+///   * marginal: each branch envelope is the closed-form double-Rayleigh
+///     law stats::DoubleRayleighDistribution (Bessel K), so validators
+///     can run KS tests, not just moment checks.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rfade/core/plan.hpp"
+#include "rfade/core/realtime.hpp"
+#include "rfade/core/validation.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/stats/distributions.hpp"
+
+namespace rfade::scenario {
+
+/// Options for CascadedRealTimeGenerator.  One IDFT size is shared by
+/// both stages (the product needs matching block lengths); each stage
+/// gets its own maximum Doppler — fm1 for the transmit-side motion, fm2
+/// for the receive side.
+struct CascadedRealTimeOptions {
+  /// IDFT size M — time samples per block, for both stages.
+  std::size_t idft_size = 4096;
+  /// Normalised maximum Doppler of stage 1 (TX mobility), in (0, 0.5).
+  double first_doppler = 0.05;
+  /// Normalised maximum Doppler of stage 2 (RX mobility), in (0, 0.5).
+  double second_doppler = 0.05;
+  /// sigma_orig^2 per dimension at the Doppler-filter inputs.
+  double input_variance_per_dim = 0.5;
+  /// Eq. (19) correction vs the ref. [6] flaw, applied to both stages.
+  core::VarianceHandling variance_handling =
+      core::VarianceHandling::AnalyticCorrection;
+  /// Coloring options applied when plans are built from raw covariances.
+  core::ColoringOptions coloring;
+  /// Synthesize each stage's N branch IDFTs on the global thread pool.
+  bool parallel_branches = true;
+};
+
+/// Generator of N cascaded, temporally Doppler-faded envelopes.
+class CascadedRealTimeGenerator {
+ public:
+  /// Share two stage plans (equal dimension N).
+  CascadedRealTimeGenerator(std::shared_ptr<const core::ColoringPlan> first,
+                            std::shared_ptr<const core::ColoringPlan> second,
+                            CascadedRealTimeOptions options = {});
+
+  /// Build both plans from raw stage covariances.
+  CascadedRealTimeGenerator(numeric::CMatrix first_covariance,
+                            numeric::CMatrix second_covariance,
+                            CascadedRealTimeOptions options = {});
+
+  /// Number of envelopes N.
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return first_.dimension();
+  }
+  /// Block length M (time samples per generated block).
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return first_.block_size();
+  }
+  [[nodiscard]] const core::RealTimeGenerator& first_stage() const noexcept {
+    return first_;
+  }
+  [[nodiscard]] const core::RealTimeGenerator& second_stage() const noexcept {
+    return second_;
+  }
+
+  /// The Hadamard product K1 (.) K2 of the stage effective covariances.
+  [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
+    return effective_;
+  }
+
+  // --- draws (deterministic, keyed like the instant-mode cascade) ----------
+
+  /// One M x N block keyed by (\p seed, \p block_index): the Hadamard
+  /// product of the two stages' Doppler-faded blocks, each stage drawing
+  /// from its own disjoint Philox stream (stage_seed, block_index + 1).
+  /// A pure function of the key — blocks regenerate independently, in
+  /// any order, on any thread.
+  [[nodiscard]] numeric::CMatrix generate_block(
+      std::uint64_t seed, std::uint64_t block_index = 0) const;
+
+  /// One block of envelopes |Z|: M x N.
+  [[nodiscard]] numeric::RMatrix generate_envelope_block(
+      std::uint64_t seed, std::uint64_t block_index = 0) const;
+
+  // --- theory --------------------------------------------------------------
+
+  /// rho1(d) rho2(d) for d = 0..max_lag: the normalised complex
+  /// autocorrelation of every cascaded branch — the product of the stage
+  /// filters' Eq. (17) laws (~ J0(2 pi fm1 d) J0(2 pi fm2 d)).
+  [[nodiscard]] numeric::RVector theoretical_normalized_autocorrelation(
+      std::size_t max_lag) const;
+
+  /// Closed-form double-Rayleigh marginal of branch \p j from the stage
+  /// effective diagonals.
+  [[nodiscard]] stats::DoubleRayleighDistribution branch_marginal(
+      std::size_t j) const;
+
+  /// All N marginals for core::validate_envelope_source.
+  [[nodiscard]] std::vector<core::EnvelopeMarginal> marginals() const;
+
+  /// The derived Philox seed of stage \p stage (0 or 1) — the same
+  /// derivation as the instant-mode cascade, exposed for tests.
+  [[nodiscard]] static std::uint64_t stage_seed(std::uint64_t seed,
+                                                std::uint64_t stage);
+
+ private:
+  core::RealTimeGenerator first_;
+  core::RealTimeGenerator second_;
+  numeric::CMatrix effective_;
+};
+
+}  // namespace rfade::scenario

@@ -7,6 +7,14 @@
 /// the envelope r = |z| of a circularly-symmetric complex Gaussian
 /// z ~ CN(0, sigma_g^2) is Rayleigh with scale sigma = sigma_g / sqrt(2),
 /// mean 0.8862 sigma_g (Eq. 14) and variance 0.2146 sigma_g^2 (Eq. 15).
+///
+/// The scenario-layer marginals live here too: Rician (LOS),
+/// double-Rayleigh (the closed-form Bessel-K law of cascaded channels
+/// after Ibdah & Ding) and TWDP (two specular waves plus diffuse, after
+/// Maric & Njemcevic, arXiv:2502.03388) — each exposing the exact
+/// mean/variance and a CDF usable by the KS validators.
+
+#include <vector>
 
 namespace rfade::stats {
 
@@ -68,6 +76,101 @@ class RicianDistribution {
  private:
   double nu_;
   double sigma_;
+};
+
+/// Double-Rayleigh (cascaded Rayleigh) distribution of the envelope
+/// r = r1 r2 of the product of two independent Rayleigh factors with
+/// per-dimension scales sigma1, sigma2 — the marginal of
+/// scenario::CascadedRayleighGenerator and of each branch of the
+/// real-time cascade.  With c = sigma1 sigma2 the law is closed-form in
+/// the modified Bessel functions of the second kind (special/bessel_k.hpp):
+///
+///   pdf(r) = (r / c^2) K_0(r / c),   cdf(r) = 1 - (r / c) K_1(r / c),
+///   E[r] = (pi/2) c,  E[r^2] = 4 c^2   (amount of fading 3).
+class DoubleRayleighDistribution {
+ public:
+  /// \pre sigma1 > 0, sigma2 > 0 (per-dimension scales of the factors).
+  DoubleRayleighDistribution(double sigma1, double sigma2);
+
+  /// Construct from the complex powers sigma_g^2 = 2 sigma^2 of the two
+  /// Gaussian stages whose envelopes are multiplied (the effective
+  /// covariance diagonals of a cascade's stages).
+  static DoubleRayleighDistribution from_gaussian_powers(double first_power,
+                                                         double second_power);
+
+  [[nodiscard]] double sigma1() const noexcept { return sigma1_; }
+  [[nodiscard]] double sigma2() const noexcept { return sigma2_; }
+  /// c = sigma1 sigma2, the scale of the product law.
+  [[nodiscard]] double scale() const noexcept { return sigma1_ * sigma2_; }
+
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  [[nodiscard]] double mean() const;           ///< (pi/2) sigma1 sigma2
+  [[nodiscard]] double second_moment() const;  ///< 4 sigma1^2 sigma2^2
+  [[nodiscard]] double variance() const;       ///< second_moment - mean^2
+
+ private:
+  double sigma1_;
+  double sigma2_;
+};
+
+/// TWDP (two-wave with diffuse power) distribution of the envelope
+/// r = |v1 e^{i phi1} + v2 e^{i phi2} + g|, g ~ CN(0, 2 sigma^2), with
+/// phi1, phi2 independent uniform — the marginal of the TWDP scenario
+/// (Maric & Njemcevic).  Conditional on the relative phase
+/// alpha = phi1 - phi2 the law is Rician with
+/// nu(alpha) = sqrt(v1^2 + v2^2 + 2 v1 v2 cos alpha); the TWDP law is the
+/// phase average over alpha, evaluated by spectrally-convergent
+/// trapezoidal quadrature of the Rician mixture (exact single-Rician
+/// delegation when v2 = 0, so Delta = 0 reproduces Rician bit-for-bit
+/// and K = 0 Rayleigh).
+class TwdpDistribution {
+ public:
+  /// \pre v1 >= v2 >= 0, sigma > 0.
+  TwdpDistribution(double v1, double v2, double sigma);
+
+  /// Construct from the TWDP shape parameters: K = (v1^2 + v2^2) /
+  /// (2 sigma^2) (total specular-to-diffuse power ratio, >= 0) and
+  /// Delta = 2 v1 v2 / (v1^2 + v2^2) in [0, 1], with the diffuse complex
+  /// power sigma_g^2 = 2 sigma^2 taken from the scenario's effective
+  /// covariance diagonal.
+  static TwdpDistribution from_parameters(double k_factor, double delta,
+                                          double diffuse_gaussian_power);
+
+  [[nodiscard]] double v1() const noexcept { return v1_; }
+  [[nodiscard]] double v2() const noexcept { return v2_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  /// K = (v1^2 + v2^2) / (2 sigma^2).
+  [[nodiscard]] double k_factor() const;
+  /// Delta = 2 v1 v2 / (v1^2 + v2^2); 0 when K = 0.
+  [[nodiscard]] double delta() const;
+
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  /// Phase average of the exact conditional Rician means.
+  [[nodiscard]] double mean() const;
+  /// E[r^2] = 2 sigma^2 + v1^2 + v2^2 (exact).
+  [[nodiscard]] double second_moment() const;
+  [[nodiscard]] double variance() const;  ///< second_moment - mean^2
+
+ private:
+  double v1_;
+  double v2_;
+  double sigma_;
+  /// Conditional Rician laws at the quadrature nodes alpha_i in [0, pi]
+  /// with matching weights (normalised to sum 1).  A single entry with
+  /// weight 1 when v2 = 0 — the exact Rician/Rayleigh degeneracy.
+  std::vector<RicianDistribution> conditional_;
+  std::vector<double> weights_;
+  /// Precomputed cumulative integral of the mixture pdf on a uniform
+  /// grid over the support [lo_, hi_] (composite Simpson per cell, built
+  /// once at construction).  cdf(r) adds one local Simpson slice on top
+  /// of the nearest grid value, so KS sweeps over thousands of sample
+  /// points stay O(1) per query instead of re-integrating from lo_.
+  double grid_lo_ = 0.0;
+  double grid_hi_ = 0.0;
+  double grid_step_ = 0.0;
+  std::vector<double> cumulative_;
 };
 
 /// Standard normal CDF.

@@ -47,38 +47,31 @@ SamplePipeline::SamplePipeline(std::shared_ptr<const ColoringPlan> plan,
                 "SamplePipeline: sample variance must be positive");
   RFADE_EXPECTS(options_.block_size > 0,
                 "SamplePipeline: block size must be positive");
-  RFADE_EXPECTS(options_.mean_offset.empty() ||
-                    options_.mean_offset.size() == plan_->dimension(),
-                "SamplePipeline: mean offset size must equal dimension");
+  RFADE_EXPECTS(options_.mean_offset.dimension() == 0 ||
+                    options_.mean_offset.dimension() == plan_->dimension(),
+                "SamplePipeline: mean offset dimension must equal the plan "
+                "dimension N");
   inv_sigma_w_ = 1.0 / std::sqrt(options_.sample_variance);
-  // An all-zero mean is the zero-mean (Rayleigh) pipeline: skip the add
-  // pass entirely so a K = 0 scenario stays bit-identical to the plain
-  // path (z + 0.0 could still flip the sign bit of a -0.0 output).
-  for (const numeric::cdouble& m : options_.mean_offset) {
-    if (m != numeric::cdouble{}) {
-      has_mean_ = true;
-      break;
-    }
-  }
+  // A zero MeanSource (empty or all-zero constant) is the zero-mean
+  // (Rayleigh) pipeline: skip the add pass entirely so a K = 0 scenario
+  // stays bit-identical to the plain path (z + 0.0 could still flip the
+  // sign bit of a -0.0 output).
+  has_mean_ = !options_.mean_offset.is_zero();
 }
 
-void SamplePipeline::add_mean_rows(std::size_t rows,
+void SamplePipeline::add_mean_rows(std::uint64_t first_instant,
+                                   std::size_t rows,
                                    numeric::cdouble* out) const {
   if (!has_mean_) {
     return;
   }
-  const std::size_t n = plan_->dimension();
-  const numeric::cdouble* m = options_.mean_offset.data();
-  for (std::size_t t = 0; t < rows; ++t) {
-    numeric::cdouble* row = out + t * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      row[j] += m[j];
-    }
-  }
+  options_.mean_offset.add_to_rows(first_instant, rows, plan_->dimension(),
+                                   out);
 }
 
 void SamplePipeline::sample_into(random::Rng& rng,
-                                 std::span<numeric::cdouble> out) const {
+                                 std::span<numeric::cdouble> out,
+                                 std::uint64_t instant) const {
   const std::size_t n = plan_->dimension();
   RFADE_EXPECTS(out.size() == n, "sample_into: output size mismatch");
   // Step 6: W = (u_1 ... u_N)^T, i.i.d. CN(0, sigma_w^2).
@@ -95,18 +88,20 @@ void SamplePipeline::sample_into(random::Rng& rng,
     }
   }
   if (has_mean_) {
-    add_mean_rows(1, out.data());
+    add_mean_rows(instant, 1, out.data());
   }
 }
 
-numeric::CVector SamplePipeline::sample(random::Rng& rng) const {
+numeric::CVector SamplePipeline::sample(random::Rng& rng,
+                                        std::uint64_t instant) const {
   numeric::CVector z(plan_->dimension());
-  sample_into(rng, z);
+  sample_into(rng, z, instant);
   return z;
 }
 
-numeric::RVector SamplePipeline::sample_envelopes(random::Rng& rng) const {
-  const numeric::CVector z = sample(rng);
+numeric::RVector SamplePipeline::sample_envelopes(
+    random::Rng& rng, std::uint64_t instant) const {
+  const numeric::CVector z = sample(rng, instant);
   numeric::RVector r(z.size());
   for (std::size_t j = 0; j < z.size(); ++j) {
     r[j] = std::abs(z[j]);
@@ -115,6 +110,7 @@ numeric::RVector SamplePipeline::sample_envelopes(random::Rng& rng) const {
 }
 
 void SamplePipeline::fill_colored_rows(random::Rng& rng, std::size_t rows,
+                                       std::uint64_t first_instant,
                                        numeric::cdouble* out) const {
   const std::size_t n = plan_->dimension();
   // Step 6, batched: the W block is drawn row-major — the same rng
@@ -129,20 +125,21 @@ void SamplePipeline::fill_colored_rows(random::Rng& rng, std::size_t rows,
                               plan_->coloring_matrix_transposed().data(), n,
                               out);
   if (has_mean_) {
-    add_mean_rows(rows, out);
+    add_mean_rows(first_instant, rows, out);
   }
 }
 
-numeric::CMatrix SamplePipeline::sample_block(std::size_t count,
-                                              random::Rng& rng) const {
+numeric::CMatrix SamplePipeline::sample_block(
+    std::size_t count, random::Rng& rng, std::uint64_t first_instant) const {
   RFADE_EXPECTS(count > 0, "sample_block: count must be positive");
   numeric::CMatrix block(count, plan_->dimension());
-  fill_colored_rows(rng, count, block.data());
+  fill_colored_rows(rng, count, first_instant, block.data());
   return block;
 }
 
 void SamplePipeline::fill_colored_rows_bulk(std::uint64_t seed,
                                             std::uint64_t block_index,
+                                            std::uint64_t first_instant,
                                             std::size_t rows,
                                             numeric::cdouble* out) const {
   const std::size_t n = plan_->dimension();
@@ -167,17 +164,38 @@ void SamplePipeline::fill_colored_rows_bulk(std::uint64_t seed,
                                  plan_->coloring_transposed_im().data(), n,
                                  out);
   if (has_mean_) {
-    add_mean_rows(rows, out);
+    add_mean_rows(first_instant, rows, out);
   }
 }
 
 numeric::CMatrix SamplePipeline::sample_block(std::size_t count,
                                               std::uint64_t seed,
                                               std::uint64_t block_index) const {
+  // Default instant assignment: block b of a stream starts at row
+  // b * block_size, so standalone blocks see the same mean rows as
+  // sample_stream hands the same block index.
+  return sample_block(count, seed, block_index,
+                      block_index * options_.block_size);
+}
+
+numeric::CMatrix SamplePipeline::sample_block(
+    std::size_t count, std::uint64_t seed, std::uint64_t block_index,
+    std::uint64_t first_instant) const {
   RFADE_EXPECTS(count > 0, "sample_block: count must be positive");
   numeric::CMatrix block(count, plan_->dimension());
-  fill_colored_rows_bulk(seed, block_index, count, block.data());
+  fill_colored_rows_bulk(seed, block_index, first_instant, count,
+                         block.data());
   return block;
+}
+
+void SamplePipeline::sample_block_into(std::size_t count, std::uint64_t seed,
+                                       std::uint64_t block_index,
+                                       std::uint64_t first_instant,
+                                       std::span<numeric::cdouble> out) const {
+  RFADE_EXPECTS(count > 0, "sample_block_into: count must be positive");
+  RFADE_EXPECTS(out.size() == count * plan_->dimension(),
+                "sample_block_into: output size must be count * dimension");
+  fill_colored_rows_bulk(seed, block_index, first_instant, count, out.data());
 }
 
 numeric::CMatrix SamplePipeline::sample_stream(std::size_t count,
@@ -189,7 +207,7 @@ numeric::CMatrix SamplePipeline::sample_stream(std::size_t count,
   support::parallel_for_chunked(
       count,
       [&](std::size_t begin, std::size_t end, std::size_t block) {
-        fill_colored_rows_bulk(seed, block, end - begin,
+        fill_colored_rows_bulk(seed, block, begin, end - begin,
                                out.data() + begin * n);
       },
       chunking);
@@ -198,18 +216,13 @@ numeric::CMatrix SamplePipeline::sample_stream(std::size_t count,
 
 numeric::RMatrix SamplePipeline::sample_envelope_stream(
     std::size_t count, std::uint64_t seed) const {
-  const numeric::CMatrix z = sample_stream(count, seed);
-  numeric::RMatrix r(z.rows(), z.cols());
-  for (std::size_t t = 0; t < z.rows(); ++t) {
-    for (std::size_t j = 0; j < z.cols(); ++j) {
-      r(t, j) = std::abs(z(t, j));
-    }
-  }
-  return r;
+  return numeric::elementwise_abs(sample_stream(count, seed));
 }
 
 numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
-                                             double variance) const {
+                                             double variance,
+                                             std::uint64_t first_instant)
+    const {
   const std::size_t n = plan_->dimension();
   RFADE_EXPECTS(w.cols() == n, "color_block: column count != dimension");
   RFADE_EXPECTS(variance > 0.0, "color_block: variance must be positive");
@@ -221,7 +234,7 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
                                 plan_->coloring_matrix_transposed().data(), n,
                                 out.data());
     if (has_mean_) {
-      add_mean_rows(w.rows(), out.data());
+      add_mean_rows(first_instant, w.rows(), out.data());
     }
     return out;
   }
@@ -238,7 +251,7 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
                               plan_->coloring_matrix_transposed().data(), n,
                               out.data());
   if (has_mean_) {
-    add_mean_rows(w.rows(), out.data());
+    add_mean_rows(first_instant, w.rows(), out.data());
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/support/parallel.hpp"
 
 namespace rfade::core {
@@ -38,7 +39,8 @@ RealTimeGenerator::RealTimeGenerator(std::shared_ptr<const ColoringPlan> plan,
           : 2.0 * options.input_variance_per_dim;
 }
 
-numeric::CMatrix RealTimeGenerator::generate_block(random::Rng& rng) const {
+numeric::CMatrix RealTimeGenerator::generate_block(
+    random::Rng& rng, std::uint64_t first_instant) const {
   const std::size_t n = pipeline_.dimension();
   const std::size_t m = branch_.block_size();
 
@@ -72,19 +74,12 @@ numeric::CMatrix RealTimeGenerator::generate_block(random::Rng& rng) const {
       w(l, j) = u[l] * inv_sigma;
     }
   }
-  return pipeline_.color_block(w, 1.0);
+  return pipeline_.color_block(w, 1.0, first_instant);
 }
 
 numeric::RMatrix RealTimeGenerator::generate_envelope_block(
-    random::Rng& rng) const {
-  const numeric::CMatrix block = generate_block(rng);
-  numeric::RMatrix envelopes(block.rows(), block.cols());
-  for (std::size_t l = 0; l < block.rows(); ++l) {
-    for (std::size_t j = 0; j < block.cols(); ++j) {
-      envelopes(l, j) = std::abs(block(l, j));
-    }
-  }
-  return envelopes;
+    random::Rng& rng, std::uint64_t first_instant) const {
+  return numeric::elementwise_abs(generate_block(rng, first_instant));
 }
 
 }  // namespace rfade::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rfade/core/power.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/stats/covariance.hpp"
 #include "rfade/stats/distributions.hpp"
 #include "rfade/stats/ks_test.hpp"
@@ -234,15 +235,8 @@ EnvelopeValidationReport validate_envelopes(
       pipeline.dimension(),
       [&pipeline](std::size_t count, std::uint64_t seed,
                   std::uint64_t block_index) {
-        const numeric::CMatrix z = pipeline.sample_block(count, seed,
-                                                         block_index);
-        numeric::RMatrix r(z.rows(), z.cols());
-        for (std::size_t t = 0; t < z.rows(); ++t) {
-          for (std::size_t j = 0; j < z.cols(); ++j) {
-            r(t, j) = std::abs(z(t, j));
-          }
-        }
-        return r;
+        return numeric::elementwise_abs(
+            pipeline.sample_block(count, seed, block_index));
       },
       marginals, options);
 }

@@ -110,6 +110,14 @@ RMatrix imag_part(const CMatrix& a) {
   return r;
 }
 
+RMatrix elementwise_abs(const CMatrix& a) {
+  RMatrix r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r.data()[i] = std::abs(a.data()[i]);
+  }
+  return r;
+}
+
 CMatrix diag(const CVector& d) {
   CMatrix m(d.size(), d.size(), cdouble{});
   for (std::size_t i = 0; i < d.size(); ++i) {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/random/xoshiro.hpp"
 #include "rfade/stats/covariance.hpp"
 #include "rfade/stats/moments.hpp"
@@ -70,6 +71,20 @@ CascadedRayleighGenerator::CascadedRayleighGenerator(
                                      options.coloring),
           options) {}
 
+stats::DoubleRayleighDistribution CascadedRayleighGenerator::branch_marginal(
+    std::size_t j) const {
+  RFADE_EXPECTS(j < dimension(), "branch_marginal: branch out of range");
+  return stats::DoubleRayleighDistribution::from_gaussian_powers(
+      first_.plan().effective_covariance()(j, j).real(),
+      second_.plan().effective_covariance()(j, j).real());
+}
+
+std::vector<core::EnvelopeMarginal> CascadedRayleighGenerator::marginals()
+    const {
+  return core::make_marginals(
+      dimension(), [this](std::size_t j) { return branch_marginal(j); });
+}
+
 double CascadedRayleighGenerator::envelope_mean(std::size_t j) const {
   RFADE_EXPECTS(j < dimension(), "envelope_mean: branch out of range");
   const double s1 = first_.plan().effective_covariance()(j, j).real();
@@ -124,12 +139,7 @@ numeric::CMatrix CascadedRayleighGenerator::sample_stream(
 
 numeric::RMatrix CascadedRayleighGenerator::sample_envelope_stream(
     std::size_t count, std::uint64_t seed) const {
-  const numeric::CMatrix z = sample_stream(count, seed);
-  numeric::RMatrix r(z.rows(), z.cols());
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    r.data()[i] = std::abs(z.data()[i]);
-  }
-  return r;
+  return numeric::elementwise_abs(sample_stream(count, seed));
 }
 
 namespace {
@@ -224,6 +234,19 @@ CascadedMomentReport CascadedRayleighGenerator::envelope_moment_diagnostics(
   report.covariance_rel_error = stats::relative_frobenius_error(
       total.covariance.covariance(), effective_);
   return report;
+}
+
+core::EnvelopeValidationReport validate_cascaded(
+    const CascadedRayleighGenerator& generator,
+    const core::ValidationOptions& options) {
+  return core::validate_envelope_source(
+      generator.dimension(),
+      [&generator](std::size_t count, std::uint64_t seed,
+                   std::uint64_t block_index) {
+        return numeric::elementwise_abs(
+            generator.sample_block(count, seed, block_index));
+      },
+      generator.marginals(), options);
 }
 
 }  // namespace rfade::scenario

@@ -65,6 +65,23 @@ numeric::CVector ScenarioSpec::los_mean(const core::ColoringPlan& plan) const {
   return mean;
 }
 
+core::MeanSource ScenarioSpec::doppler_los_mean(
+    const core::ColoringPlan& plan, double normalized_los_doppler) const {
+  // Enforce the documented preconditions on every branch — a bad Doppler
+  // must be rejected here even when K = 0 makes the mean vanish, not
+  // later when someone flips a K-factor on.
+  RFADE_EXPECTS(std::isfinite(normalized_los_doppler) &&
+                    std::abs(normalized_los_doppler) <= 0.5,
+                "ScenarioSpec: LOS Doppler must be finite with |f| <= 0.5");
+  RFADE_EXPECTS(plan.dimension() == dimension(),
+                "ScenarioSpec: plan dimension mismatch");
+  if (!has_los_) {
+    return {};
+  }
+  return core::MeanSource::doppler_phasor(los_mean(plan),
+                                          normalized_los_doppler);
+}
+
 core::SamplePipeline ScenarioSpec::make_pipeline(
     std::shared_ptr<const core::ColoringPlan> plan,
     core::PipelineOptions options) const {
@@ -85,15 +102,9 @@ stats::RicianDistribution ScenarioSpec::branch_marginal(
 
 std::vector<core::EnvelopeMarginal> ScenarioSpec::marginals(
     const core::ColoringPlan& plan) const {
-  std::vector<core::EnvelopeMarginal> result;
-  result.reserve(dimension());
-  for (std::size_t j = 0; j < dimension(); ++j) {
-    const stats::RicianDistribution marginal = branch_marginal(plan, j);
-    result.push_back(core::EnvelopeMarginal{
-        marginal.mean(), marginal.variance(),
-        [marginal](double r) { return marginal.cdf(r); }});
-  }
-  return result;
+  return core::make_marginals(
+      dimension(),
+      [&](std::size_t j) { return branch_marginal(plan, j); });
 }
 
 core::EnvelopeValidationReport validate_scenario(

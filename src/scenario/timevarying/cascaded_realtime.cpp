@@ -1,0 +1,113 @@
+#include "rfade/scenario/timevarying/cascaded_realtime.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rfade/doppler/filter.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/scenario/cascaded.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::scenario {
+
+namespace {
+
+core::RealTimeOptions stage_realtime_options(
+    const CascadedRealTimeOptions& options, double doppler) {
+  core::RealTimeOptions stage;
+  stage.idft_size = options.idft_size;
+  stage.normalized_doppler = doppler;
+  stage.input_variance_per_dim = options.input_variance_per_dim;
+  stage.variance_handling = options.variance_handling;
+  stage.parallel_branches = options.parallel_branches;
+  return stage;
+}
+
+numeric::CMatrix hadamard(const numeric::CMatrix& a,
+                          const numeric::CMatrix& b) {
+  numeric::CMatrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t CascadedRealTimeGenerator::stage_seed(std::uint64_t seed,
+                                                    std::uint64_t stage) {
+  return CascadedRayleighGenerator::stage_seed(seed, stage);
+}
+
+CascadedRealTimeGenerator::CascadedRealTimeGenerator(
+    std::shared_ptr<const core::ColoringPlan> first,
+    std::shared_ptr<const core::ColoringPlan> second,
+    CascadedRealTimeOptions options)
+    : first_(std::move(first), stage_realtime_options(options,
+                                                      options.first_doppler)),
+      second_(std::move(second),
+              stage_realtime_options(options, options.second_doppler)) {
+  RFADE_EXPECTS(first_.dimension() == second_.dimension(),
+                "CascadedRealTimeGenerator: stage dimensions must match");
+  effective_ = hadamard(first_.effective_covariance(),
+                        second_.effective_covariance());
+}
+
+CascadedRealTimeGenerator::CascadedRealTimeGenerator(
+    numeric::CMatrix first_covariance, numeric::CMatrix second_covariance,
+    CascadedRealTimeOptions options)
+    : CascadedRealTimeGenerator(
+          core::ColoringPlan::create(std::move(first_covariance),
+                                     options.coloring),
+          core::ColoringPlan::create(std::move(second_covariance),
+                                     options.coloring),
+          options) {}
+
+numeric::CMatrix CascadedRealTimeGenerator::generate_block(
+    std::uint64_t seed, std::uint64_t block_index) const {
+  // Each stage draws its whole block from its own Philox stream keyed by
+  // (stage seed, block_index + 1) — the same disjointness scheme as the
+  // instant-mode cascade, and the +1 keeps block streams off the default
+  // stream 0 of a root Rng(seed).
+  random::Rng rng1(stage_seed(seed, 0), block_index + 1);
+  random::Rng rng2(stage_seed(seed, 1), block_index + 1);
+  const numeric::CMatrix z1 = first_.generate_block(rng1);
+  const numeric::CMatrix z2 = second_.generate_block(rng2);
+  return hadamard(z1, z2);
+}
+
+numeric::RMatrix CascadedRealTimeGenerator::generate_envelope_block(
+    std::uint64_t seed, std::uint64_t block_index) const {
+  return numeric::elementwise_abs(generate_block(seed, block_index));
+}
+
+numeric::RVector
+CascadedRealTimeGenerator::theoretical_normalized_autocorrelation(
+    std::size_t max_lag) const {
+  const numeric::RVector rho1 = doppler::theoretical_normalized_autocorrelation(
+      first_.branch().filter(), max_lag);
+  const numeric::RVector rho2 = doppler::theoretical_normalized_autocorrelation(
+      second_.branch().filter(), max_lag);
+  numeric::RVector product(max_lag + 1);
+  for (std::size_t d = 0; d <= max_lag; ++d) {
+    product[d] = rho1[d] * rho2[d];
+  }
+  return product;
+}
+
+stats::DoubleRayleighDistribution CascadedRealTimeGenerator::branch_marginal(
+    std::size_t j) const {
+  RFADE_EXPECTS(j < dimension(),
+                "CascadedRealTimeGenerator: branch index out of range");
+  return stats::DoubleRayleighDistribution::from_gaussian_powers(
+      first_.effective_covariance()(j, j).real(),
+      second_.effective_covariance()(j, j).real());
+}
+
+std::vector<core::EnvelopeMarginal> CascadedRealTimeGenerator::marginals()
+    const {
+  return core::make_marginals(
+      dimension(), [this](std::size_t j) { return branch_marginal(j); });
+}
+
+}  // namespace rfade::scenario

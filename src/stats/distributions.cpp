@@ -1,9 +1,11 @@
 #include "rfade/stats/distributions.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
 #include "rfade/special/bessel_i.hpp"
+#include "rfade/special/bessel_k.hpp"
 #include "rfade/support/contracts.hpp"
 
 namespace rfade::stats {
@@ -155,6 +157,185 @@ double RicianDistribution::second_moment() const {
 }
 
 double RicianDistribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
+DoubleRayleighDistribution::DoubleRayleighDistribution(double sigma1,
+                                                       double sigma2)
+    : sigma1_(sigma1), sigma2_(sigma2) {
+  RFADE_EXPECTS(sigma1 > 0.0 && sigma2 > 0.0,
+                "DoubleRayleighDistribution: scales must be positive");
+}
+
+DoubleRayleighDistribution DoubleRayleighDistribution::from_gaussian_powers(
+    double first_power, double second_power) {
+  RFADE_EXPECTS(first_power > 0.0 && second_power > 0.0,
+                "DoubleRayleighDistribution: stage powers must be positive");
+  return DoubleRayleighDistribution(std::sqrt(0.5 * first_power),
+                                    std::sqrt(0.5 * second_power));
+}
+
+double DoubleRayleighDistribution::pdf(double r) const {
+  if (r <= 0.0) {
+    // r K_0(r/c) -> 0 as r -> 0 despite the log singularity of K_0.
+    return 0.0;
+  }
+  const double c = scale();
+  const double x = r / c;
+  // (r/c^2) K_0(r/c) through the scaled Bessel so the far tail underflows
+  // gracefully instead of evaluating exp(-x) * overflow-prone pieces.
+  return x / c * special::bessel_k0e(x) * std::exp(-x);
+}
+
+double DoubleRayleighDistribution::cdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  const double x = r / scale();
+  return 1.0 - x * special::bessel_k1e(x) * std::exp(-x);
+}
+
+double DoubleRayleighDistribution::mean() const {
+  return 0.5 * kPi * scale();
+}
+
+double DoubleRayleighDistribution::second_moment() const {
+  const double c = scale();
+  return 4.0 * c * c;
+}
+
+double DoubleRayleighDistribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
+TwdpDistribution::TwdpDistribution(double v1, double v2, double sigma)
+    : v1_(v1), v2_(v2), sigma_(sigma) {
+  RFADE_EXPECTS(v2 >= 0.0 && v1 >= v2,
+                "TwdpDistribution: amplitudes must satisfy v1 >= v2 >= 0");
+  RFADE_EXPECTS(std::isfinite(v1), "TwdpDistribution: v1 must be finite");
+  RFADE_EXPECTS(sigma > 0.0, "TwdpDistribution: sigma must be positive");
+  if (v2_ == 0.0) {
+    // Exact degeneracy: constant nu(alpha) = v1 — the law *is* Rician
+    // (Rayleigh when v1 = 0 too), delegated bit-for-bit.
+    conditional_.emplace_back(v1_, sigma_);
+    weights_.push_back(1.0);
+    return;
+  }
+  // Phase average over alpha in [0, pi] by the trapezoidal rule: the
+  // integrand is analytic and even/periodic in alpha, so the sum
+  // converges geometrically.  Its smoothness scale is set by the largest
+  // exponent a = v1 v2 r / sigma^2 the conditional Rician laws see over
+  // the support, so the panel count grows with that coupling.
+  const double s2 = sigma_ * sigma_;
+  const double max_coupling = v1_ * v2_ * (v1_ + v2_ + 10.0 * sigma_) / s2;
+  const std::size_t panels = std::min<std::size_t>(
+      512, 32 + static_cast<std::size_t>(std::ceil(2.0 * max_coupling)));
+  conditional_.reserve(panels + 1);
+  weights_.reserve(panels + 1);
+  for (std::size_t i = 0; i <= panels; ++i) {
+    const double alpha = kPi * static_cast<double>(i) /
+                         static_cast<double>(panels);
+    const double nu = std::sqrt(v1_ * v1_ + v2_ * v2_ +
+                                2.0 * v1_ * v2_ * std::cos(alpha));
+    conditional_.emplace_back(nu, sigma_);
+    const double endpoint = (i == 0 || i == panels) ? 0.5 : 1.0;
+    weights_.push_back(endpoint / static_cast<double>(panels));
+  }
+  // Cumulative CDF grid over the mixture support: every conditional
+  // Rician keeps its mass within nu +- 10 sigma, so the mixture lives in
+  // [v1 - v2 - 10 sigma, v1 + v2 + 10 sigma].  Composite Simpson per
+  // cell; cells are ~1e-2 sigma wide, so the per-cell error is far below
+  // the KS resolution the validators need.
+  grid_lo_ = std::max(0.0, v1_ - v2_ - 10.0 * sigma_);
+  grid_hi_ = v1_ + v2_ + 10.0 * sigma_;
+  const std::size_t cells = 2048;
+  grid_step_ = (grid_hi_ - grid_lo_) / static_cast<double>(cells);
+  cumulative_.resize(cells + 1);
+  cumulative_[0] = 0.0;
+  double left = pdf(grid_lo_);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double a = grid_lo_ + grid_step_ * static_cast<double>(i);
+    const double mid = pdf(a + 0.5 * grid_step_);
+    const double right = pdf(a + grid_step_);
+    cumulative_[i + 1] =
+        cumulative_[i] + grid_step_ / 6.0 * (left + 4.0 * mid + right);
+    left = right;
+  }
+}
+
+TwdpDistribution TwdpDistribution::from_parameters(
+    double k_factor, double delta, double diffuse_gaussian_power) {
+  RFADE_EXPECTS(std::isfinite(k_factor) && k_factor >= 0.0,
+                "TwdpDistribution: K-factor must be finite and non-negative");
+  RFADE_EXPECTS(std::isfinite(delta) && delta >= 0.0 && delta <= 1.0,
+                "TwdpDistribution: Delta must be in [0, 1]");
+  RFADE_EXPECTS(diffuse_gaussian_power > 0.0,
+                "TwdpDistribution: diffuse power must be positive");
+  // v1^2 + v2^2 = K sigma_g^2 and 2 v1 v2 = Delta K sigma_g^2:
+  // v_{1,2}^2 = (K sigma_g^2 / 2)(1 +- sqrt(1 - Delta^2)).
+  const double specular_power = k_factor * diffuse_gaussian_power;
+  const double split = std::sqrt(std::max(0.0, 1.0 - delta * delta));
+  const double v1 = std::sqrt(0.5 * specular_power * (1.0 + split));
+  const double v2 = std::sqrt(0.5 * specular_power * (1.0 - split));
+  return TwdpDistribution(v1, v2, std::sqrt(0.5 * diffuse_gaussian_power));
+}
+
+double TwdpDistribution::k_factor() const {
+  return 0.5 * (v1_ * v1_ + v2_ * v2_) / (sigma_ * sigma_);
+}
+
+double TwdpDistribution::delta() const {
+  const double specular = v1_ * v1_ + v2_ * v2_;
+  return specular == 0.0 ? 0.0 : 2.0 * v1_ * v2_ / specular;
+}
+
+double TwdpDistribution::pdf(double r) const {
+  if (r < 0.0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < conditional_.size(); ++i) {
+    sum += weights_[i] * conditional_[i].pdf(r);
+  }
+  return sum;
+}
+
+double TwdpDistribution::cdf(double r) const {
+  if (conditional_.size() == 1) {
+    return conditional_.front().cdf(r);  // exact Rician degeneracy
+  }
+  if (r <= grid_lo_ || r <= 0.0) {
+    return 0.0;
+  }
+  if (r >= grid_hi_) {
+    return 1.0;
+  }
+  // Nearest grid value below r plus one Simpson slice over the residual
+  // [x_i, r].
+  const std::size_t i = std::min(
+      cumulative_.size() - 2,
+      static_cast<std::size_t>((r - grid_lo_) / grid_step_));
+  const double a = grid_lo_ + grid_step_ * static_cast<double>(i);
+  const double slice =
+      (r - a) / 6.0 * (pdf(a) + 4.0 * pdf(0.5 * (a + r)) + pdf(r));
+  return std::min(1.0, std::max(0.0, cumulative_[i] + slice));
+}
+
+double TwdpDistribution::mean() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < conditional_.size(); ++i) {
+    sum += weights_[i] * conditional_[i].mean();
+  }
+  return sum;
+}
+
+double TwdpDistribution::second_moment() const {
+  return 2.0 * sigma_ * sigma_ + v1_ * v1_ + v2_ * v2_;
+}
+
+double TwdpDistribution::variance() const {
   const double m = mean();
   return second_moment() - m * m;
 }

@@ -178,8 +178,9 @@ TEST(ScenarioSpec, RealTimeLosMeanProducesRicianEnvelopes) {
   plain_options.idft_size = 512;
   const core::RealTimeGenerator plain(plan, plain_options);
 
+  const numeric::CVector mean = spec.los_mean(*plan);
   core::RealTimeOptions los_options = plain_options;
-  los_options.los_mean = spec.los_mean(*plan);
+  los_options.los_mean = mean;
   const core::RealTimeGenerator rician(plan, los_options);
 
   random::Rng rng_a(3);
@@ -190,8 +191,7 @@ TEST(ScenarioSpec, RealTimeLosMeanProducesRicianEnvelopes) {
   // the shift is exact in floating point).
   for (std::size_t t = 0; t < block_plain.rows(); ++t) {
     for (std::size_t j = 0; j < block_plain.cols(); ++j) {
-      EXPECT_EQ(block_rician(t, j),
-                block_plain(t, j) + los_options.los_mean[j]);
+      EXPECT_EQ(block_rician(t, j), block_plain(t, j) + mean[j]);
     }
   }
 

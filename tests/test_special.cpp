@@ -1,11 +1,13 @@
 // Tests for the incomplete gamma functions, the modified Bessel functions
-// I_0/I_1 (Rician support), and the Kolmogorov distribution.
+// I_0/I_1 (Rician support) and K_0/K_1 (double-Rayleigh support), and the
+// Kolmogorov distribution.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "rfade/special/bessel_i.hpp"
+#include "rfade/special/bessel_k.hpp"
 #include "rfade/special/gamma.hpp"
 #include "rfade/special/kolmogorov.hpp"
 #include "rfade/support/error.hpp"
@@ -144,6 +146,56 @@ TEST(Kolmogorov, PValueScalesWithSampleSize) {
   EXPECT_GT(p_small, p_large);
   EXPECT_THROW((void)kolmogorov_p_value(-0.1, 10.0), rfade::ContractViolation);
   EXPECT_THROW((void)kolmogorov_p_value(0.1, 0.0), rfade::ContractViolation);
+}
+
+TEST(BesselK, MatchesStandardLibrary) {
+  // Both regimes of the implementation: the DLMF log series (x <= 2) and
+  // the trapezoidal integral representation beyond, including the
+  // switchover neighbourhood.
+  for (const double x : {1e-3, 0.01, 0.1, 0.5, 1.0, 1.9, 2.0, 2.1, 3.0, 5.0,
+                         10.0, 30.0, 100.0, 500.0}) {
+    const double k0_ref = std::cyl_bessel_k(0.0, x);
+    const double k1_ref = std::cyl_bessel_k(1.0, x);
+    EXPECT_NEAR(rfade::special::bessel_k0(x), k0_ref,
+                1e-12 * std::abs(k0_ref))
+        << "K0 at x=" << x;
+    EXPECT_NEAR(rfade::special::bessel_k1(x), k1_ref,
+                1e-12 * std::abs(k1_ref))
+        << "K1 at x=" << x;
+  }
+}
+
+TEST(BesselK, ScaledVariantsConsistent) {
+  for (const double x : {0.2, 1.5, 3.0, 20.0, 200.0}) {
+    EXPECT_NEAR(rfade::special::bessel_k0e(x),
+                std::exp(x) * rfade::special::bessel_k0(x),
+                1e-11 * rfade::special::bessel_k0e(x));
+    EXPECT_NEAR(rfade::special::bessel_k1e(x),
+                std::exp(x) * rfade::special::bessel_k1(x),
+                1e-11 * rfade::special::bessel_k1e(x));
+  }
+  // Far beyond exp underflow the scaled forms must stay finite and match
+  // the leading asymptotic sqrt(pi / 2x).
+  const double x = 1e4;
+  const double leading = std::sqrt(0.5 * M_PI / x);
+  EXPECT_NEAR(rfade::special::bessel_k0e(x), leading, 1e-4 * leading);
+  EXPECT_GT(rfade::special::bessel_k1e(x), rfade::special::bessel_k0e(x));
+}
+
+TEST(BesselK, LimitingBehaviour) {
+  // x K1(x) -> 1 as x -> 0 (the double-Rayleigh CDF hinges on this), and
+  // K0 diverges logarithmically: K0(x) + ln(x/2) -> -gamma.
+  EXPECT_NEAR(1e-8 * rfade::special::bessel_k1(1e-8), 1.0, 1e-12);
+  EXPECT_NEAR(rfade::special::bessel_k0(1e-8) + std::log(0.5e-8),
+              -0.5772156649015329, 1e-10);
+  EXPECT_THROW((void)rfade::special::bessel_k0(0.0),
+               rfade::ContractViolation);
+  EXPECT_THROW((void)rfade::special::bessel_k1(-1.0),
+               rfade::ContractViolation);
+  EXPECT_THROW((void)rfade::special::bessel_k0e(0.0),
+               rfade::ContractViolation);
+  EXPECT_THROW((void)rfade::special::bessel_k1e(-2.0),
+               rfade::ContractViolation);
 }
 
 }  // namespace

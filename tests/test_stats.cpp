@@ -269,6 +269,122 @@ TEST(Distributions, RicianCdfPdfConsistency) {
                ContractViolation);
 }
 
+TEST(Distributions, DoubleRayleighClosedForm) {
+  const auto dr = stats::DoubleRayleighDistribution(0.8, 1.3);
+  const double c = 0.8 * 1.3;
+  EXPECT_DOUBLE_EQ(dr.scale(), c);
+  EXPECT_NEAR(dr.mean(), 0.5 * M_PI * c, 1e-14);
+  EXPECT_NEAR(dr.second_moment(), 4.0 * c * c, 1e-14);
+  EXPECT_NEAR(dr.variance(), 4.0 * c * c - std::pow(0.5 * M_PI * c, 2),
+              1e-12);
+  // CDF limits and monotonicity; the pdf is its derivative.
+  EXPECT_DOUBLE_EQ(dr.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dr.cdf(-1.0), 0.0);
+  EXPECT_NEAR(dr.cdf(100.0 * c), 1.0, 1e-12);
+  double previous = 0.0;
+  for (double r = 0.05; r < 8.0 * c; r += 0.1) {
+    const double value = dr.cdf(r);
+    EXPECT_GE(value, previous);
+    previous = value;
+    const double h = 1e-6;
+    EXPECT_NEAR((dr.cdf(r + h) - dr.cdf(r - h)) / (2 * h), dr.pdf(r), 1e-6)
+        << "r=" << r;
+  }
+  // Mean/second moment agree with direct numeric integration of the pdf
+  // (the far tail is heavier than Rayleigh, so integrate generously).
+  double mean = 0.0;
+  double m2 = 0.0;
+  const double hi = 40.0 * c;
+  const int steps = 400000;
+  for (int i = 0; i < steps; ++i) {
+    const double r = (i + 0.5) * hi / steps;
+    const double w = dr.pdf(r) * hi / steps;
+    mean += r * w;
+    m2 += r * r * w;
+  }
+  EXPECT_NEAR(dr.mean(), mean, 1e-5);
+  EXPECT_NEAR(dr.second_moment(), m2, 1e-4);
+  // from_gaussian_powers takes the complex stage powers 2 sigma^2.
+  const auto from_powers =
+      stats::DoubleRayleighDistribution::from_gaussian_powers(2.0 * 0.64,
+                                                              2.0 * 1.69);
+  EXPECT_NEAR(from_powers.scale(), c, 1e-14);
+  EXPECT_THROW((void)stats::DoubleRayleighDistribution(0.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)stats::DoubleRayleighDistribution::from_gaussian_powers(1.0,
+                                                                    -1.0),
+      ContractViolation);
+}
+
+TEST(Distributions, TwdpDegeneratesToRicianAndRayleigh) {
+  // Delta = 0 is a single specular wave: the law must *be* the Rician
+  // one, bit-for-bit (exact delegation, not quadrature).
+  const double power = 1.4;
+  const auto twdp = stats::TwdpDistribution::from_parameters(3.0, 0.0, power);
+  const auto rician = stats::RicianDistribution::from_k_factor(3.0, power);
+  EXPECT_DOUBLE_EQ(twdp.v2(), 0.0);
+  for (double r = 0.0; r < 6.0; r += 0.37) {
+    EXPECT_EQ(twdp.pdf(r), rician.pdf(r)) << "r=" << r;
+    EXPECT_EQ(twdp.cdf(r), rician.cdf(r)) << "r=" << r;
+  }
+  EXPECT_EQ(twdp.mean(), rician.mean());
+  // K = 0 is Rayleigh regardless of Delta.
+  const auto zero_k = stats::TwdpDistribution::from_parameters(0.0, 0.7,
+                                                              power);
+  const auto rayleigh = stats::RayleighDistribution::from_gaussian_power(
+      power);
+  EXPECT_NEAR(zero_k.mean(), rayleigh.mean(), 1e-14);
+  EXPECT_NEAR(zero_k.cdf(1.0), rayleigh.cdf(1.0), 1e-12);
+}
+
+TEST(Distributions, TwdpMomentsAndCdfConsistency) {
+  const auto twdp = stats::TwdpDistribution::from_parameters(3.0, 0.8, 1.0);
+  // Parameter inversion and the exact second moment.
+  EXPECT_NEAR(twdp.k_factor(), 3.0, 1e-12);
+  EXPECT_NEAR(twdp.delta(), 0.8, 1e-12);
+  EXPECT_NEAR(twdp.second_moment(), 1.0 + 3.0 * 1.0, 1e-12);
+  // CDF limits, monotonicity, derivative = pdf.
+  EXPECT_DOUBLE_EQ(twdp.cdf(0.0), 0.0);
+  EXPECT_NEAR(twdp.cdf(twdp.v1() + twdp.v2() + 50.0 * twdp.sigma()), 1.0,
+              1e-12);
+  double previous = 0.0;
+  for (double r = 0.1; r < 5.0; r += 0.2) {
+    const double value = twdp.cdf(r);
+    EXPECT_GE(value, previous);
+    previous = value;
+    const double h = 1e-5;
+    EXPECT_NEAR((twdp.cdf(r + h) - twdp.cdf(r - h)) / (2 * h), twdp.pdf(r),
+                1e-4)
+        << "r=" << r;
+  }
+  // Mean and (exact) second moment against direct integration of the
+  // mixture pdf.
+  double mean = 0.0;
+  double m2 = 0.0;
+  const double hi = twdp.v1() + twdp.v2() + 10.0 * twdp.sigma();
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    const double r = (i + 0.5) * hi / steps;
+    const double w = twdp.pdf(r) * hi / steps;
+    mean += r * w;
+    m2 += r * r * w;
+  }
+  EXPECT_NEAR(twdp.mean(), mean, 1e-6);
+  EXPECT_NEAR(twdp.second_moment(), m2, 1e-5);
+  // Contracts: Delta outside [0, 1], negative K, bad powers.
+  EXPECT_THROW((void)stats::TwdpDistribution::from_parameters(1.0, -0.1, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)stats::TwdpDistribution::from_parameters(1.0, 1.1, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)stats::TwdpDistribution::from_parameters(-1.0, 0.5, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)stats::TwdpDistribution::from_parameters(1.0, 0.5, 0.0),
+               ContractViolation);
+  EXPECT_THROW((void)stats::TwdpDistribution(1.0, 2.0, 1.0),
+               ContractViolation);
+}
+
 TEST(Distributions, NormalAndExponential) {
   EXPECT_NEAR(stats::normal_cdf(0.0), 0.5, 1e-15);
   EXPECT_NEAR(stats::normal_cdf(1.96), 0.975, 1e-3);
