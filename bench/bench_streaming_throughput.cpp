@@ -1,0 +1,88 @@
+// Per-sample cost of each streaming backend (core::FadingStream) at
+// M in {1024, 4096, 16384}: independent IDFT blocks (the Sec. 5 baseline),
+// windowed overlap-add (one extra crossfade pass per seam), and the
+// exactly continuous overlap-save FIR (two 2M FFTs + one bulk input fill
+// per M output samples — the O(M log M) amortised price of seam-free
+// autocorrelation).
+//
+// StreamingIndependentBlock doubles as the per-compiler regression
+// reference: bench/check_regression.py gates the WOLA/overlap-save
+// entries on their cost *ratio* to it at matched M
+// (--reference StreamingIndependentBlock), which transfers across
+// machines of the same ISA family.
+//
+// Smoke mode for CI: --benchmark_min_time=0.05.
+
+#include <benchmark/benchmark.h>
+
+#include "rfade/core/fading_stream.hpp"
+#include "rfade/numeric/matrix.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+namespace {
+
+constexpr std::size_t kBranches = 4;
+
+CMatrix tridiagonal_covariance(std::size_t n) {
+  CMatrix k = CMatrix::identity(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    k(i, i + 1) = cdouble(0.4, 0.2);
+    k(i + 1, i) = cdouble(0.4, -0.2);
+  }
+  return k;
+}
+
+void run_backend(benchmark::State& state, doppler::StreamBackend backend) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::FadingStreamOptions options;
+  options.backend = backend;
+  options.idft_size = m;
+  options.normalized_doppler = 0.05;
+  options.seed = 0x57E0;
+  core::FadingStream stream(tridiagonal_covariance(kBranches), options);
+  for (auto _ : state) {
+    const CMatrix z = stream.next_block();
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.block_size()) *
+                          static_cast<std::int64_t>(kBranches));
+  state.SetLabel(doppler::stream_backend_name(backend));
+}
+
+void StreamingIndependentBlock(benchmark::State& state) {
+  run_backend(state, doppler::StreamBackend::IndependentBlock);
+}
+BENCHMARK(StreamingIndependentBlock)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void StreamingWindowedOverlapAdd(benchmark::State& state) {
+  run_backend(state, doppler::StreamBackend::WindowedOverlapAdd);
+}
+BENCHMARK(StreamingWindowedOverlapAdd)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void StreamingOverlapSaveFir(benchmark::State& state) {
+  run_backend(state, doppler::StreamBackend::OverlapSaveFir);
+}
+BENCHMARK(StreamingOverlapSaveFir)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

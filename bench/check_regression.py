@@ -13,6 +13,10 @@ committed baseline was recorded on a single-core machine, so the parallel
 path's baseline speedup is its single-core floor — any multicore CI
 runner clears it with margin unless the batched path itself regresses.
 
+The reference benchmark is configurable (--reference): the streaming
+gate normalizes the continuous backends by StreamingIndependentBlock at
+matched M, gating their cost ratio rather than raw throughput.
+
 Baselines are per-compiler (speedup ratios are codegen-dependent):
 pass --compiler NAME to resolve bench/baseline_throughput_NAME.json when
 it exists, falling back to the default g++ baseline otherwise.  An
@@ -21,7 +25,7 @@ explicit --baseline always wins.
 Usage:
   check_regression.py --current BENCH_x.json [--baseline bench/baseline_throughput.json]
                       [--compiler g++|clang++] [--tolerance 0.25]
-                      [--pattern REGEX] [--absolute]
+                      [--pattern REGEX] [--reference NAME] [--absolute]
 
 Exit status: 0 OK, 1 regression, 2 usage/data error.
 """
@@ -83,10 +87,10 @@ def args_suffix(name):
     return base[i:] if i >= 0 else ""
 
 
-def reference_ips(bench, name):
-    """PerSampleBlockBaseline items/s at the same args, if present."""
+def reference_ips(bench, name, reference):
+    """The reference benchmark's items/s at the same args, if present."""
     suffix = args_suffix(name)
-    for candidate in (REFERENCE + suffix, REFERENCE + suffix + "/real_time"):
+    for candidate in (reference + suffix, reference + suffix + "/real_time"):
         if candidate in bench:
             return bench[candidate]
     return None
@@ -106,6 +110,9 @@ def main():
                         help="max fractional drop vs baseline (default 0.25)")
     parser.add_argument("--pattern", default=DEFAULT_PATTERN,
                         help="regex of gated benchmark names")
+    parser.add_argument("--reference", default=REFERENCE,
+                        help="benchmark name the gated entries are "
+                             f"normalized by (default {REFERENCE})")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw items/s instead of the "
                              "per-sample-normalized speedup")
@@ -144,10 +151,10 @@ def main():
         if opts.absolute:
             base_value, cur_value, unit = baseline[name], current[name], "items/s"
         else:
-            base_ref = reference_ips(baseline, name)
-            cur_ref = reference_ips(current, name)
+            base_ref = reference_ips(baseline, name, opts.reference)
+            cur_ref = reference_ips(current, name, opts.reference)
             if base_ref is None or cur_ref is None:
-                print(f"note: {name}: no {REFERENCE} at matched args; "
+                print(f"note: {name}: no {opts.reference} at matched args; "
                       f"skipping (run the full bench or use --absolute)")
                 continue
             base_value = baseline[name] / base_ref

@@ -1,0 +1,145 @@
+// Continuous streaming (core::FadingStream): one unbounded correlated
+// Doppler-faded realisation pulled block-by-block through each of the
+// three temporal backends, with the autocorrelation measured *at the
+// block seams* — the estimate every pair of which crosses a block
+// boundary.  Independent IDFT blocks (the paper's Sec. 5 shape) lose all
+// correlation there; the windowed overlap-add and overlap-save backends
+// keep the J0(2 pi fm d) law running straight through.  Also
+// demonstrates keyed block regeneration (seek/fan-out) being
+// bit-identical to the sequential cursor.
+//
+//   build/examples/streaming_fading [--fm 0.05] [--idft 2048]
+//       [--overlap 256] [--blocks 200] [--csv streaming_trace.csv]
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "rfade/channel/spatial.hpp"
+#include "rfade/core/fading_stream.hpp"
+#include "rfade/special/bessel.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/csv.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CVector;
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Branch-0 trace of `blocks` consecutive stream blocks.
+CVector collect(core::FadingStream& stream, std::size_t blocks) {
+  CVector trace;
+  trace.reserve(blocks * stream.block_size());
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const numeric::CMatrix block = stream.next_block();
+    for (std::size_t l = 0; l < block.rows(); ++l) {
+      trace.push_back(block(l, 0));
+    }
+  }
+  return trace;
+}
+
+/// Normalised autocorrelation at lag d restricted to pairs that straddle
+/// a block boundary (multiples of block_size).
+double seam_acf(const CVector& y, std::size_t block_size, std::size_t d) {
+  cdouble sum{};
+  std::size_t pairs = 0;
+  double power = 0.0;
+  for (const cdouble& v : y) {
+    power += std::norm(v);
+  }
+  power /= static_cast<double>(y.size());
+  for (std::size_t boundary = block_size; boundary + d < y.size();
+       boundary += block_size) {
+    for (std::size_t t = boundary - (d < boundary ? d : boundary);
+         t < boundary; ++t) {
+      sum += y[t] * std::conj(y[t + d]);
+      ++pairs;
+    }
+  }
+  return sum.real() / (static_cast<double>(pairs) * power);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const double fm = args.get_double("fm", 0.05);
+  const std::size_t idft = args.get_size("idft", 2048);
+  const std::size_t overlap = args.get_size("overlap", idft / 8);
+  const std::size_t blocks = args.get_size("blocks", 200);
+  const std::string csv_path = args.get("csv", "streaming_trace.csv");
+
+  const numeric::CMatrix k =
+      channel::spatial_covariance_matrix(channel::paper_spatial_scenario());
+
+  const doppler::StreamBackend backends[] = {
+      doppler::StreamBackend::IndependentBlock,
+      doppler::StreamBackend::WindowedOverlapAdd,
+      doppler::StreamBackend::OverlapSaveFir};
+
+  std::printf("continuous streaming over %zu blocks, M = %zu, fm = %.3f "
+              "(WOLA overlap %zu)\n\n",
+              blocks, idft, fm, overlap);
+
+  support::TablePrinter table(
+      "autocorrelation at the block seams (every pair crosses a boundary)");
+  table.set_header({"lag", "J0 target", "independent", "overlap-add",
+                    "overlap-save"});
+
+  std::vector<CVector> traces;
+  std::vector<std::size_t> block_sizes;
+  for (const doppler::StreamBackend backend : backends) {
+    core::FadingStreamOptions options;
+    options.backend = backend;
+    options.idft_size = idft;
+    options.normalized_doppler = fm;
+    options.overlap =
+        backend == doppler::StreamBackend::WindowedOverlapAdd ? overlap : 0;
+    options.seed = 0x57AB;
+    core::FadingStream stream(k, options);
+    block_sizes.push_back(stream.block_size());
+    traces.push_back(collect(stream, blocks));
+
+    // Keyed regeneration (fan-out / seek) is bit-identical to the cursor.
+    const numeric::CMatrix replay = stream.generate_block(0x57AB, 1);
+    const CVector& trace = traces.back();
+    const std::size_t bs = stream.block_size();
+    bool identical = true;
+    for (std::size_t l = 0; l < bs; ++l) {
+      identical = identical && replay(l, 0) == trace[bs + l];
+    }
+    std::printf("%-22s block 1 keyed replay %s the streamed bits\n",
+                doppler::stream_backend_name(backend),
+                identical ? "matches" : "DIFFERS FROM");
+  }
+
+  std::printf("\n");
+  for (const std::size_t d : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
+    const double j0 = special::bessel_j0(kTwoPi * fm * double(d));
+    table.add_row({std::to_string(d), support::fixed(j0, 4),
+                   support::fixed(seam_acf(traces[0], block_sizes[0], d), 4),
+                   support::fixed(seam_acf(traces[1], block_sizes[1], d), 4),
+                   support::fixed(seam_acf(traces[2], block_sizes[2], d), 4)});
+  }
+  table.print();
+  std::printf("\nindependent blocks decorrelate at every seam; the "
+              "overlap-add crossfade holds J0 for lags up to its overlap, "
+              "and the overlap-save FIR stream is exactly stationary.\n");
+
+  // A short two-block overlap-save excerpt around a seam for plotting.
+  support::CsvWriter csv(csv_path);
+  csv.write_row({"sample", "envelope_independent", "envelope_overlap_save"});
+  const std::size_t seam = block_sizes[0];
+  const std::size_t from = seam > 64 ? seam - 64 : 0;
+  for (std::size_t l = from; l < seam + 64 && l < traces[0].size(); ++l) {
+    csv.write_numeric_row({double(l), std::abs(traces[0][l]),
+                           std::abs(traces[2][l])});
+  }
+  std::printf("wrote the seam excerpt to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,228 @@
+#pragma once
+
+/// \file fading_stream.hpp
+/// \brief The unified temporal-synthesis engine: N BranchSource streams
+///        advanced in lockstep and colored per time instant.
+///
+/// Every temporally-correlated generator in rfade is the same picture
+/// (paper Sec. 5, Fig. 3): N per-branch correlated complex-Gaussian
+/// streams u_j[l], normalised by the assumed per-branch variance and
+/// colored per instant with the shared plan's L, plus an optional
+/// deterministic mean trajectory:
+///
+///   Z_l = L W_l / sigma_g + m(l),   W_l = (u_1[l] ... u_N[l])^T.
+///
+/// FadingStream is that picture, with the per-branch synthesis swappable
+/// via doppler::BranchSource (independent IDFT blocks / windowed
+/// overlap-add / exact overlap-save FIR — see doppler/branch_source.hpp)
+/// and three equivalent ways to pull blocks:
+///
+///   * the stateful cursor: next_block() emits consecutive blocks of one
+///     unbounded realisation keyed by options.seed; seek() jumps to any
+///     block index (replaying at most history_blocks() of carried state);
+///   * the keyed const path: generate_block(seed, b) is a pure function
+///     of the key — blocks regenerate independently, in any order, on any
+///     thread or node;
+///   * the rng-driven path: generate_block_from(rng) consumes a
+///     caller-owned rng exactly like the historical
+///     RealTimeGenerator::generate_block (independent-block backend only,
+///     and bit-identical to it).
+///
+/// Randomness layout: block b of the stream draws from the per-block
+/// Philox substream (seed, b + 1) (random::block_substream), every
+/// branch's spectrum in a fixed serial order — so the independent-block
+/// backend reproduces today's RealTimeGenerator bit-for-bit under the
+/// cascade's (stage seed, block) keying.  The overlap-save backend
+/// instead keys a persistent bulk input substream per branch
+/// (BranchSourceDesign::input_seed) indexed by absolute sample position —
+/// seekable to any instant.  Either way the output is bit-reproducible
+/// for any thread count, and the mean trajectory is threaded by absolute
+/// first_instant through SamplePipeline::color_block, so time-varying
+/// LOS/TWDP phasors stay continuous across blocks.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rfade/core/plan.hpp"
+#include "rfade/doppler/branch_source.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::core {
+
+/// Which variance the coloring normalisation divides by: the Eq. (19)
+/// post-filter value (the paper's Sec. 5 step 6) or the raw input
+/// variance (the Sorooshyari-Daut ref. [6] flaw, kept for experiment E7).
+enum class VarianceHandling {
+  AnalyticCorrection,   ///< Eq. (19) — the proposed algorithm
+  AssumeInputVariance   ///< the Sorooshyari-Daut assumption (flawed)
+};
+
+/// Options for FadingStream.  The temporal half mirrors RealTimeOptions;
+/// backend/overlap select the branch synthesis, seed keys the stateful
+/// cursor.
+struct FadingStreamOptions {
+  /// Branch synthesis backend (see doppler/branch_source.hpp for the
+  /// exactness/cost/paper-fidelity trade-offs).
+  doppler::StreamBackend backend = doppler::StreamBackend::IndependentBlock;
+  /// IDFT size M.  Output blocks carry M rows (M - overlap for WOLA).
+  std::size_t idft_size = 4096;
+  /// Normalised maximum Doppler fm = Fm / Fs in (0, 0.5).
+  double normalized_doppler = 0.05;
+  /// sigma_orig^2 per dimension at the Doppler-filter inputs.
+  double input_variance_per_dim = 0.5;
+  /// WOLA crossfade length; 0 picks idft_size / 8.  \pre < idft_size / 2.
+  std::size_t overlap = 0;
+  VarianceHandling variance_handling = VarianceHandling::AnalyticCorrection;
+  /// Optional specular mean m(l) added to every colored instant, indexed
+  /// by the absolute stream instant (continuous across blocks).
+  MeanSource los_mean;
+  ColoringOptions coloring;
+  /// Synthesize the N branch fills concurrently on the global thread
+  /// pool.  Output is bit-identical either way.
+  bool parallel_branches = true;
+  /// Key of the stateful next_block()/seek() realisation.
+  std::uint64_t seed = 0;
+};
+
+/// Generator of one unbounded realisation of N jointly-correlated,
+/// temporally Doppler-faded complex Gaussians (see file comment).
+class FadingStream {
+ public:
+  /// \param desired_covariance K of Eqs. (12)-(13).
+  FadingStream(numeric::CMatrix desired_covariance,
+               FadingStreamOptions options = {});
+
+  /// Share an existing plan; options.coloring is ignored.
+  FadingStream(std::shared_ptr<const ColoringPlan> plan,
+               FadingStreamOptions options = {});
+
+  /// Number of envelopes N.
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return pipeline_.dimension();
+  }
+
+  /// Rows per block (M, or M - overlap for WOLA).
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return design_->block_size();
+  }
+
+  [[nodiscard]] doppler::StreamBackend backend() const noexcept {
+    return design_->backend();
+  }
+
+  /// The shared backend design (filter, window/kernel precomputation).
+  [[nodiscard]] const doppler::BranchSourceDesign& design() const noexcept {
+    return *design_;
+  }
+
+  /// The shared Fig. 2 branch (all N branches use the same filter).
+  [[nodiscard]] const doppler::IdftRayleighBranch& branch() const noexcept {
+    return design_->branch();
+  }
+
+  /// Analytic per-branch output variance sigma_g^2 (Eq. 19).
+  [[nodiscard]] double branch_output_variance() const noexcept {
+    return design_->output_variance();
+  }
+
+  /// The variance the normalisation actually divides by (differs from
+  /// branch_output_variance() only in AssumeInputVariance mode).
+  [[nodiscard]] double assumed_variance() const noexcept {
+    return assumed_variance_;
+  }
+
+  /// K_bar = L L^H.
+  [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
+    return pipeline_.plan().effective_covariance();
+  }
+
+  /// Coloring diagnostics.
+  [[nodiscard]] const ColoringResult& coloring() const noexcept {
+    return pipeline_.plan().coloring();
+  }
+
+  /// The shared build-phase plan.
+  [[nodiscard]] const std::shared_ptr<const ColoringPlan>& plan()
+      const noexcept {
+    return pipeline_.plan_handle();
+  }
+
+  /// The stateful cursor's seed.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  // --- stateful cursor (one continuous realisation keyed by seed) ----------
+
+  /// The next block of the stream: block_size() x N, row l at absolute
+  /// instant next_instant() + l.  Equals generate_block(seed(), b) for
+  /// the b this call consumes.
+  [[nodiscard]] numeric::CMatrix next_block();
+
+  /// Envelopes |Z| of next_block().
+  [[nodiscard]] numeric::RMatrix next_envelope_block();
+
+  /// Jump the cursor to \p block_index (any direction).  Replays at most
+  /// design().history_blocks() blocks to rebuild carried state, so a
+  /// seek costs O(one block) for every backend.
+  void seek(std::uint64_t block_index);
+
+  /// Index of the block the next next_block() call will emit.
+  [[nodiscard]] std::uint64_t next_block_index() const noexcept {
+    return next_block_;
+  }
+
+  /// Absolute time instant of that block's first row.
+  [[nodiscard]] std::uint64_t next_instant() const noexcept {
+    return next_block_ * block_size();
+  }
+
+  // --- keyed const path (pure function of (seed, block index)) -------------
+
+  /// Block \p block_index of the realisation keyed by \p seed — exactly
+  /// what the stateful cursor emits for that key, regenerated
+  /// independently (transient sources + history replay).  Safe to call
+  /// concurrently; the backbone of multi-node fan-out.
+  [[nodiscard]] numeric::CMatrix generate_block(
+      std::uint64_t seed, std::uint64_t block_index) const;
+
+  /// Envelopes |Z| of generate_block().
+  [[nodiscard]] numeric::RMatrix generate_envelope_block(
+      std::uint64_t seed, std::uint64_t block_index) const;
+
+  // --- rng-driven path (historical Sec. 5 block algorithm) ------------------
+
+  /// One block drawn from a caller-owned rng, rows at instants
+  /// \p first_instant + l.  Independent-block backend only (the other
+  /// backends key their own randomness); bit-identical to the
+  /// pre-stream-layer RealTimeGenerator::generate_block.
+  [[nodiscard]] numeric::CMatrix generate_block_from(
+      random::Rng& rng, std::uint64_t first_instant = 0) const;
+
+ private:
+  using SourceList = std::vector<std::unique_ptr<doppler::BranchSource>>;
+
+  [[nodiscard]] SourceList make_sources(std::uint64_t seed) const;
+
+  /// Advance + fill + normalise + color one block: the single copy of the
+  /// loop RealTimeGenerator, StreamingFadingSource and the cascaded /
+  /// TWDP real-time generators used to duplicate.
+  [[nodiscard]] numeric::CMatrix emit(SourceList& sources, random::Rng& rng,
+                                      std::uint64_t block_index,
+                                      std::uint64_t first_instant) const;
+
+  /// Advance + fill, discarding the output (history replay for seeks and
+  /// keyed access to stateful backends).
+  void replay(SourceList& sources, std::uint64_t seed,
+              std::uint64_t block_index) const;
+
+  SamplePipeline pipeline_;
+  std::shared_ptr<const doppler::BranchSourceDesign> design_;
+  double assumed_variance_;
+  bool parallel_branches_;
+  std::uint64_t seed_;
+  SourceList sources_;
+  std::uint64_t next_block_ = 0;
+};
+
+}  // namespace rfade::core

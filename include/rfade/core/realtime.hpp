@@ -7,13 +7,14 @@
 /// N Young-Beaulieu IDFT branches (Fig. 2) produce temporally-correlated
 /// complex Gaussians u_j[l]; at each time instant l the vector
 /// W_l = (u_1[l], ..., u_N[l])^T is colored exactly as in the instant-mode
-/// algorithm: Z_l = L W_l / sigma_g.  Both halves run on the shared plan
-/// layer (plan.hpp): the coloring factor comes from a (shareable)
-/// ColoringPlan, and the per-block normalisation + coloring is
-/// SamplePipeline::color_block — one blocked GEMM over the whole M x N
-/// block.  Branch spectra are drawn in a fixed serial order (reproducible
-/// for any thread count) and the N IDFTs are synthesized in parallel on
-/// the global thread pool.
+/// algorithm: Z_l = L W_l / sigma_g.  RealTimeGenerator is the paper's
+/// block algorithm verbatim: a thin rng-driven façade over the unified
+/// stream engine (core/fading_stream.hpp) pinned to the independent-block
+/// backend — every generate_block call is an independent realisation, and
+/// the output is bit-identical to the pre-stream-layer implementation.
+/// For continuous long traces (seam-free autocorrelation), use
+/// core::FadingStream with the windowed-overlap-add or overlap-save
+/// backend instead.
 ///
 /// The decisive detail — the paper's fix over Sorooshyari-Daut [6] — is
 /// *which* sigma_g^2 the division uses:
@@ -27,18 +28,13 @@
 
 #include <memory>
 
+#include "rfade/core/fading_stream.hpp"
 #include "rfade/core/plan.hpp"
 #include "rfade/doppler/idft_generator.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
 
 namespace rfade::core {
-
-/// Which variance the coloring normalisation divides by (see file comment).
-enum class VarianceHandling {
-  AnalyticCorrection,   ///< Eq. (19) — the proposed algorithm
-  AssumeInputVariance   ///< the Sorooshyari-Daut assumption (flawed)
-};
 
 /// Options for RealTimeGenerator.
 struct RealTimeOptions {
@@ -82,19 +78,21 @@ class RealTimeGenerator {
 
   /// Number of envelopes N.
   [[nodiscard]] std::size_t dimension() const noexcept {
-    return pipeline_.dimension();
+    return stream_.dimension();
   }
 
   /// Block length M.
   [[nodiscard]] std::size_t block_size() const noexcept {
-    return branch_.block_size();
+    return stream_.block_size();
   }
 
   /// One block: M x N complex Gaussians; row l is the vector Z at time
   /// \p first_instant + l (the offset only matters for a time-varying
   /// LOS mean — see RealTimeOptions::los_mean).
   [[nodiscard]] numeric::CMatrix generate_block(
-      random::Rng& rng, std::uint64_t first_instant = 0) const;
+      random::Rng& rng, std::uint64_t first_instant = 0) const {
+    return stream_.generate_block_from(rng, first_instant);
+  }
 
   /// One block of envelopes |Z|: M x N.
   [[nodiscard]] numeric::RMatrix generate_envelope_block(
@@ -102,41 +100,41 @@ class RealTimeGenerator {
 
   /// Analytic per-branch output variance sigma_g^2 (Eq. 19).
   [[nodiscard]] double branch_output_variance() const noexcept {
-    return branch_.output_variance();
+    return stream_.branch_output_variance();
   }
 
   /// The variance the normalisation actually divides by (differs from
   /// branch_output_variance() only in AssumeInputVariance mode).
   [[nodiscard]] double assumed_variance() const noexcept {
-    return assumed_variance_;
+    return stream_.assumed_variance();
   }
 
   /// K_bar = L L^H.
   [[nodiscard]] const numeric::CMatrix& effective_covariance() const noexcept {
-    return pipeline_.plan().effective_covariance();
+    return stream_.effective_covariance();
   }
 
   /// Coloring diagnostics.
   [[nodiscard]] const ColoringResult& coloring() const noexcept {
-    return pipeline_.plan().coloring();
+    return stream_.coloring();
   }
 
   /// The shared build-phase plan.
   [[nodiscard]] const std::shared_ptr<const ColoringPlan>& plan()
       const noexcept {
-    return pipeline_.plan_handle();
+    return stream_.plan();
   }
 
   /// The shared branch design (all N branches use the same filter).
   [[nodiscard]] const doppler::IdftRayleighBranch& branch() const noexcept {
-    return branch_;
+    return stream_.branch();
   }
 
+  /// The underlying stream engine (independent-block backend).
+  [[nodiscard]] const FadingStream& stream() const noexcept { return stream_; }
+
  private:
-  SamplePipeline pipeline_;
-  doppler::IdftRayleighBranch branch_;
-  double assumed_variance_;
-  bool parallel_branches_;
+  FadingStream stream_;
 };
 
 }  // namespace rfade::core

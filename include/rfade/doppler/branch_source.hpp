@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file branch_source.hpp
+/// \brief Per-branch temporal-synthesis backends behind one pull interface.
+///
+/// The paper's Sec. 5 algorithm emits one M-sample IDFT block per branch
+/// (Fig. 2) and restarts for the next block, so consecutive blocks are
+/// independent realisations — fine for the paper's experiments, but an
+/// autocorrelation discontinuity at every block seam of a long trace.  The
+/// unbounded stationary processes of the time-varying scenarios (Maric &
+/// Njemcevic's TWDP simulator, Ibdah & Ding's cascaded channels) need a
+/// genuinely continuous stream.  BranchSource abstracts "one branch's
+/// correlated complex Gaussian stream, one block at a time" so the
+/// stream engine (core::FadingStream) can swap the synthesis backend:
+///
+///   * StreamBackend::IndependentBlock — the paper's Fig. 2 generator
+///     verbatim: every block is a fresh IDFT realisation.  Bit-identical
+///     to the pre-stream RealTimeGenerator; the autocorrelation across a
+///     seam is zero (continuity_horizon() == 0).
+///   * StreamBackend::WindowedOverlapAdd — windowed overlap-add (WOLA):
+///     consecutive independent block realisations are crossfaded over
+///     `overlap` samples with the equal-power window
+///     y = sqrt(1-w) * current + sqrt(w) * next, which preserves variance
+///     and Gaussianity exactly and keeps the J0 autocorrelation intact
+///     for lags up to ~overlap across every seam
+///     (continuity_horizon() == overlap).  Each advance consumes one
+///     block spectrum and emits M - overlap samples.
+///   * StreamBackend::OverlapSaveFir — state-carrying overlap-save FIR:
+///     the Eq. (21) filter's impulse response h = IDFT(F) (centered, so
+///     its linear autocorrelation matches the circular Eq. (17) law) is
+///     convolved against a persistent white complex Gaussian input
+///     stream drawn from a seekable bulk-Philox substream
+///     (random::fill_complex_gaussians_planar with a sample offset).
+///     The output is one exactly stationary process: the J0(2 pi fm d)
+///     autocorrelation holds across any number of block boundaries
+///     (continuity_horizon() == unbounded), the per-sample variance is
+///     the same Eq. (19) sigma_g^2 as the block backends, and each
+///     M-sample output block costs two 2M FFTs — O(log M) amortised per
+///     sample.  Because the input stream is indexed by absolute sample
+///     position, every output block is a pure function of
+///     (branch seed, block index): seekable, order-free, thread-free.
+///
+/// Protocol: one `advance` (the stochastic half — consumes the caller's
+/// rng in a fixed serial order, or nothing for the self-keyed
+/// overlap-save backend) followed by exactly one `fill` (the heavy
+/// deterministic half — IDFT / windowing / convolution; safe to run
+/// concurrently across *distinct* sources).  `reset` drops carried state
+/// so a seek can replay `history_blocks()` blocks to rebuild it.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "rfade/doppler/idft_generator.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/random/rng.hpp"
+
+namespace rfade::doppler {
+
+/// Which temporal-synthesis backend drives each branch (see file comment).
+enum class StreamBackend {
+  IndependentBlock,   ///< paper Sec. 5: independent IDFT block realisations
+  WindowedOverlapAdd, ///< equal-power crossfade of independent blocks (WOLA)
+  OverlapSaveFir      ///< exact continuous FIR convolution (overlap-save)
+};
+
+/// Human-readable backend name, for reports and bench labels.
+[[nodiscard]] const char* stream_backend_name(StreamBackend backend) noexcept;
+
+/// One branch's correlated complex-Gaussian stream, pulled one block at a
+/// time.  Stateful; sources for different branches are independent objects,
+/// so `fill` may run concurrently across branches after the serial
+/// `advance` pass.
+class BranchSource {
+ public:
+  virtual ~BranchSource() = default;
+
+  /// Output samples per advance/fill pair.
+  [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
+
+  /// The stochastic half of one block: draw this block's randomness from
+  /// \p rng (backends with self-keyed randomness ignore it and key off
+  /// \p block_index instead).  Called once per block, for every branch in
+  /// a fixed serial order — rng consumption never depends on threads.
+  virtual void advance(random::Rng& rng, std::uint64_t block_index) = 0;
+
+  /// The deterministic half: write the block's block_size() samples into
+  /// \p out.  Exactly one fill per advance (fill may rotate carried
+  /// state).  No shared mutable state across sources — parallel-safe
+  /// across branches.
+  virtual void fill(std::span<numeric::cdouble> out) = 0;
+
+  /// Drop all carried state, as if freshly constructed (used by seeks,
+  /// which then replay history_blocks() blocks to rebuild it).
+  virtual void reset() = 0;
+};
+
+/// Immutable, shareable description of a branch backend: the Young-Beaulieu
+/// filter/IDFT design plus backend-specific precomputation (crossfade
+/// window, centered FIR kernel spectrum).  One design serves any number of
+/// BranchSource instances (the N branches of a stream, transient keyed
+/// replays, ...).
+class BranchSourceDesign {
+ public:
+  /// \param backend   synthesis backend.
+  /// \param m         IDFT size M; \pre m >= 8 (young_beaulieu_filter).
+  /// \param fm        normalised maximum Doppler in (0, 0.5), fm*m >= 1.
+  /// \param input_variance_per_dim sigma_orig^2 > 0 of the A/B sequences.
+  /// \param overlap   WOLA crossfade length; 0 picks m / 8.
+  ///                  \pre 1 <= overlap < m / 2 (WOLA only).
+  BranchSourceDesign(StreamBackend backend, std::size_t m, double fm,
+                     double input_variance_per_dim, std::size_t overlap = 0);
+
+  [[nodiscard]] StreamBackend backend() const noexcept { return backend_; }
+
+  /// Output samples per block: M, except M - overlap for WOLA.
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+  /// Blocks of carried state a seek must replay (0 for the keyed
+  /// backends, 1 for WOLA's previous-block crossfade state).
+  [[nodiscard]] std::size_t history_blocks() const noexcept {
+    return backend_ == StreamBackend::WindowedOverlapAdd ? 1 : 0;
+  }
+
+  /// Largest lag d for which the autocorrelation J0(2 pi fm d) survives a
+  /// block seam: 0 (independent), overlap (WOLA), or SIZE_MAX
+  /// (overlap-save — exactly stationary at every lag).
+  [[nodiscard]] std::size_t continuity_horizon() const noexcept;
+
+  /// Analytic per-sample output variance sigma_g^2 (Eq. 19) — identical
+  /// for all three backends (the crossfade is equal-power; Parseval makes
+  /// the FIR energy equal the IDFT one).
+  [[nodiscard]] double output_variance() const noexcept {
+    return branch_.output_variance();
+  }
+
+  /// The shared Fig. 2 branch (filter design, IDFT synthesis).
+  [[nodiscard]] const IdftRayleighBranch& branch() const noexcept {
+    return branch_;
+  }
+
+  /// WOLA crossfade length (0 unless the WOLA backend).
+  [[nodiscard]] std::size_t overlap() const noexcept { return overlap_; }
+
+  /// A fresh source.  \p branch_seed keys the overlap-save backend's
+  /// persistent bulk-Philox input substream (ignored by the rng-driven
+  /// backends); derive it per branch with input_seed.
+  [[nodiscard]] std::unique_ptr<BranchSource> make_source(
+      std::uint64_t branch_seed) const;
+
+  /// Deterministic per-branch input seed for the overlap-save input
+  /// streams: splitmix64 over (seed, branch), salted so it collides with
+  /// neither the cascade stage seeds nor the TWDP phase seed.
+  [[nodiscard]] static std::uint64_t input_seed(std::uint64_t seed,
+                                                std::size_t branch);
+
+ private:
+  StreamBackend backend_;
+  IdftRayleighBranch branch_;
+  std::size_t overlap_ = 0;
+  std::size_t block_size_;
+  /// WOLA: precomputed equal-power fade weights, bit-identical to the
+  /// historical StreamingFadingSource crossfade.
+  numeric::RVector fade_in_;   ///< sqrt(w),   w = (i+1) / (overlap+1)
+  numeric::RVector fade_out_;  ///< sqrt(1-w)
+  /// Overlap-save: DFT_{2M} of the centered impulse response, and the
+  /// per-sample complex variance 2 sigma_orig^2 / M of the white input
+  /// stream that reproduces the Fig. 2 output statistics exactly.
+  numeric::CVector kernel_spectrum_;
+  double input_stream_variance_ = 0.0;
+
+  friend class IndependentBlockBranchSource;
+  friend class WolaBranchSource;
+  friend class OverlapSaveBranchSource;
+};
+
+}  // namespace rfade::doppler

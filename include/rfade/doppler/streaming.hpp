@@ -1,22 +1,29 @@
 #pragma once
 
 /// \file streaming.hpp
-/// \brief Continuous (unbounded-length) Doppler-faded sample stream.
+/// \brief Compatibility shim: per-sample crossfaded Doppler stream.
 ///
-/// The paper's real-time algorithm (Sec. 5) produces one M-sample block per
-/// IDFT; a simulation that runs longer than M samples needs consecutive
-/// blocks.  Naively concatenating independent blocks puts an
-/// autocorrelation discontinuity at every boundary.  StreamingFadingSource
-/// hides it with an equal-power crossfade: over the last `overlap` samples
-/// of each block the output is
+/// StreamingFadingSource predates the unified stream layer
+/// (doppler/branch_source.hpp + core/fading_stream.hpp); it is now a thin
+/// per-sample façade over a single WindowedOverlapAdd BranchSource, kept
+/// for callers that want one branch pulled sample-by-sample from their
+/// own rng.  The emitted sample sequence is bit-identical to the
+/// historical implementation: over the last `overlap` samples of each
+/// block the output is
 ///
 ///     y = sqrt(1 - w) * current + sqrt(w) * next,   w: 0 -> 1,
 ///
 /// which preserves the variance and Gaussianity exactly (the blocks are
 /// independent), keeps the within-block autocorrelation J0(2 pi fm d), and
-/// degrades it only inside the overlap window.  This is the standard
-/// overlap trade-off; choose overlap << M for fidelity.
+/// degrades it only for lags beyond the overlap window.  New code should
+/// use core::FadingStream directly: it serves N correlated branches, all
+/// three backends (including the exactly continuous overlap-save FIR),
+/// seekable keyed blocks, and the colored/mean-threaded output.
 
+#include <cstdint>
+#include <memory>
+
+#include "rfade/doppler/branch_source.hpp"
 #include "rfade/doppler/idft_generator.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
@@ -24,13 +31,14 @@
 namespace rfade::doppler {
 
 /// Unbounded stream of complex Gaussian fading samples with a Jakes
-/// Doppler spectrum.
+/// Doppler spectrum (single branch, caller-owned rng; see file comment —
+/// prefer core::FadingStream).
 class StreamingFadingSource {
  public:
   /// \param m        IDFT block size M.
   /// \param fm       normalised maximum Doppler in (0, 0.5).
   /// \param input_variance_per_dim sigma_orig^2 of the branch generator.
-  /// \param overlap  crossfade length in samples; \pre overlap < m / 2.
+  /// \param overlap  crossfade length in samples; \pre 1 <= overlap < m/2.
   StreamingFadingSource(std::size_t m, double fm,
                         double input_variance_per_dim, std::size_t overlap);
 
@@ -42,23 +50,25 @@ class StreamingFadingSource {
 
   /// Output variance (Eq. 19) — unchanged by the equal-power crossfade.
   [[nodiscard]] double output_variance() const noexcept {
-    return branch_.output_variance();
+    return design_.output_variance();
   }
 
   /// The underlying block generator.
   [[nodiscard]] const IdftRayleighBranch& branch() const noexcept {
-    return branch_;
+    return design_.branch();
+  }
+
+  /// The WOLA backend design this shim wraps.
+  [[nodiscard]] const BranchSourceDesign& design() const noexcept {
+    return design_;
   }
 
  private:
-  void advance_block(random::Rng& rng);
-
-  IdftRayleighBranch branch_;
-  std::size_t overlap_;
-  numeric::CVector current_;
-  numeric::CVector next_;
+  BranchSourceDesign design_;
+  std::unique_ptr<BranchSource> source_;
+  numeric::CVector buffer_;
   std::size_t position_ = 0;
-  bool primed_ = false;
+  std::uint64_t block_index_ = 0;
 };
 
 }  // namespace rfade::doppler

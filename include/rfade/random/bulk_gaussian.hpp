@@ -33,4 +33,16 @@ void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
                                    double variance, std::size_t count,
                                    double* re, double* im);
 
+/// Stream-seekable form: samples first_sample..first_sample+count-1 of the
+/// same substream (sample t consumes counter block t, so any two calls
+/// whose ranges overlap agree bit-for-bit on the overlap).  This is how a
+/// continuous source treats one substream as an unbounded input tape —
+/// the overlap-save Doppler backend regenerates any window of its white
+/// input stream from (seed, stream, offset) alone, which makes seeking
+/// and multi-node fan-out pure key arithmetic.
+void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
+                                   double variance,
+                                   std::uint64_t first_sample,
+                                   std::size_t count, double* re, double* im);
+
 }  // namespace rfade::random

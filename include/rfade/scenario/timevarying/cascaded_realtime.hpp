@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "rfade/core/fading_stream.hpp"
 #include "rfade/core/plan.hpp"
 #include "rfade/core/realtime.hpp"
 #include "rfade/core/validation.hpp"
@@ -64,6 +65,18 @@ struct CascadedRealTimeOptions {
   core::ColoringOptions coloring;
   /// Synthesize each stage's N branch IDFTs on the global thread pool.
   bool parallel_branches = true;
+  /// Temporal-synthesis backend of both stages.  The default reproduces
+  /// the historical independent-block behaviour bit-for-bit; the
+  /// continuous backends (core/fading_stream.hpp) make the *product*
+  /// process seam-free too — the Ibdah & Ding cascades are unbounded
+  /// stationary processes, and with OverlapSaveFir the simulated one is
+  /// as well.
+  doppler::StreamBackend backend = doppler::StreamBackend::IndependentBlock;
+  /// WOLA crossfade length (0 picks idft_size / 8; WOLA backend only).
+  std::size_t overlap = 0;
+  /// Key of the stateful next_block() realisation (the keyed
+  /// generate_block ignores it).
+  std::uint64_t stream_seed = 0;
 };
 
 /// Generator of N cascaded, temporally Doppler-faded envelopes.
@@ -81,17 +94,30 @@ class CascadedRealTimeGenerator {
 
   /// Number of envelopes N.
   [[nodiscard]] std::size_t dimension() const noexcept {
-    return first_.dimension();
+    return first_stream_.dimension();
   }
-  /// Block length M (time samples per generated block).
+  /// Rows per generated block (M, or M - overlap for the WOLA backend).
   [[nodiscard]] std::size_t block_size() const noexcept {
-    return first_.block_size();
+    return first_stream_.block_size();
   }
+  /// Independent-block (Sec. 5) view of stage 1 — the exact generator the
+  /// keyed path multiplies under the default backend; kept for
+  /// stage-level diagnostics and filter access.  Note it is always the
+  /// independent-block engine: under the WOLA backend its block_size()
+  /// is M while this generator emits M - overlap rows per block (see
+  /// block_size() / first_stream() for the configured backend).
   [[nodiscard]] const core::RealTimeGenerator& first_stage() const noexcept {
     return first_;
   }
   [[nodiscard]] const core::RealTimeGenerator& second_stage() const noexcept {
     return second_;
+  }
+  /// The stage stream engines (the configured backend).
+  [[nodiscard]] const core::FadingStream& first_stream() const noexcept {
+    return first_stream_;
+  }
+  [[nodiscard]] const core::FadingStream& second_stream() const noexcept {
+    return second_stream_;
   }
 
   /// The Hadamard product K1 (.) K2 of the stage effective covariances.
@@ -101,17 +127,39 @@ class CascadedRealTimeGenerator {
 
   // --- draws (deterministic, keyed like the instant-mode cascade) ----------
 
-  /// One M x N block keyed by (\p seed, \p block_index): the Hadamard
-  /// product of the two stages' Doppler-faded blocks, each stage drawing
-  /// from its own disjoint Philox stream (stage_seed, block_index + 1).
-  /// A pure function of the key — blocks regenerate independently, in
-  /// any order, on any thread.
+  /// One block_size() x N block keyed by (\p seed, \p block_index): the
+  /// Hadamard product of the two stages' Doppler-faded blocks, each stage
+  /// drawing from its own disjoint Philox stream
+  /// (stage_seed, block_index + 1).  A pure function of the key — blocks
+  /// regenerate independently, in any order, on any thread — for *every*
+  /// backend (continuous stages replay their one block of carried
+  /// state); under the default independent-block backend it is
+  /// bit-identical to the pre-stream-layer implementation.
   [[nodiscard]] numeric::CMatrix generate_block(
       std::uint64_t seed, std::uint64_t block_index = 0) const;
 
-  /// One block of envelopes |Z|: M x N.
+  /// One block of envelopes |Z|.
   [[nodiscard]] numeric::RMatrix generate_envelope_block(
       std::uint64_t seed, std::uint64_t block_index = 0) const;
+
+  // --- continuous stream (stateful cursor keyed by options.stream_seed) ----
+
+  /// The next block of the continuous product process: both stage
+  /// streams advance in lockstep and multiply elementwise.  Equals
+  /// generate_block(options.stream_seed, b) for the block index this
+  /// call consumes.
+  [[nodiscard]] numeric::CMatrix next_block();
+
+  /// Envelopes |Z| of next_block().
+  [[nodiscard]] numeric::RMatrix next_envelope_block();
+
+  /// Jump the cursor to \p block_index (both stages; O(one block)).
+  void seek(std::uint64_t block_index);
+
+  /// Index of the block the next next_block() call will emit.
+  [[nodiscard]] std::uint64_t next_block_index() const noexcept {
+    return first_stream_.next_block_index();
+  }
 
   // --- theory --------------------------------------------------------------
 
@@ -137,6 +185,8 @@ class CascadedRealTimeGenerator {
  private:
   core::RealTimeGenerator first_;
   core::RealTimeGenerator second_;
+  core::FadingStream first_stream_;
+  core::FadingStream second_stream_;
   numeric::CMatrix effective_;
 };
 

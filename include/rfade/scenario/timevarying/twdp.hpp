@@ -31,8 +31,13 @@
 ///     trajectories phi_i(l) = 2 pi f_i l — each wave Doppler-shifted by
 ///     its own normalised frequency — expressed as a two-term
 ///     core::MeanSource phasor sum and threaded through
-///     RealTimeOptions::los_mean on top of the Doppler-faded diffuse
-///     field.
+///     RealTimeOptions::los_mean (one independent block at a time) or,
+///     for an unbounded stationary trace, through twdp_fading_stream: a
+///     core::FadingStream whose wave trajectories are indexed by the
+///     absolute stream instant and whose diffuse field can use the
+///     continuous overlap-add / overlap-save backends, so neither the
+///     specular phases nor the diffuse autocorrelation break at block
+///     seams — the process Maric & Njemcevic's simulator is defined as.
 ///
 /// The diffuse cross-branch correlation is whatever covariance spec the
 /// scenario was built on: the specular add happens after coloring and
@@ -42,6 +47,7 @@
 #include <memory>
 #include <vector>
 
+#include "rfade/core/fading_stream.hpp"
 #include "rfade/core/mean_source.hpp"
 #include "rfade/core/plan.hpp"
 #include "rfade/core/validation.hpp"
@@ -208,5 +214,17 @@ class TwdpGenerator {
 [[nodiscard]] core::EnvelopeValidationReport validate_twdp(
     const TwdpGenerator& generator,
     const core::ValidationOptions& options = {});
+
+/// Continuous real-time TWDP stream: \p options' diffuse Doppler backend
+/// plus the spec's two deterministic wave trajectories (realtime_mean at
+/// \p first_wave_doppler / \p second_wave_doppler), threaded by absolute
+/// stream instant so the wave phases — and, with a continuous backend,
+/// the diffuse autocorrelation — are seamless across blocks.  Any
+/// los_mean already set in \p options is replaced.  \pre the plan's
+/// dimension matches the spec's.
+[[nodiscard]] core::FadingStream twdp_fading_stream(
+    std::shared_ptr<const core::ColoringPlan> plan, const TwdpSpec& spec,
+    double first_wave_doppler, double second_wave_doppler,
+    core::FadingStreamOptions options = {});
 
 }  // namespace rfade::scenario

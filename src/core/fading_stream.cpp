@@ -1,0 +1,161 @@
+#include "rfade/core/fading_stream.hpp"
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/support/contracts.hpp"
+#include "rfade/support/parallel.hpp"
+
+namespace rfade::core {
+
+namespace {
+
+PipelineOptions stream_pipeline_options(const FadingStreamOptions& options) {
+  PipelineOptions pipeline;
+  pipeline.mean_offset = options.los_mean;
+  return pipeline;
+}
+
+}  // namespace
+
+FadingStream::FadingStream(numeric::CMatrix desired_covariance,
+                           FadingStreamOptions options)
+    : FadingStream(ColoringPlan::create(std::move(desired_covariance),
+                                        options.coloring),
+                   options) {}
+
+FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
+                           FadingStreamOptions options)
+    : pipeline_(std::move(plan), stream_pipeline_options(options)),
+      design_(std::make_shared<const doppler::BranchSourceDesign>(
+          options.backend, options.idft_size, options.normalized_doppler,
+          options.input_variance_per_dim, options.overlap)),
+      parallel_branches_(options.parallel_branches),
+      seed_(options.seed) {
+  // Proposed (Sec. 5 step 6): divide by the Eq. (19) post-filter variance.
+  // Flawed mode (ref. [6]): divide by the input complex variance
+  // 2 sigma_orig^2, as if the Doppler filter did not change the power.
+  assumed_variance_ =
+      options.variance_handling == VarianceHandling::AnalyticCorrection
+          ? design_->output_variance()
+          : 2.0 * options.input_variance_per_dim;
+  sources_ = make_sources(seed_);
+}
+
+FadingStream::SourceList FadingStream::make_sources(std::uint64_t seed) const {
+  SourceList sources;
+  sources.reserve(pipeline_.dimension());
+  for (std::size_t j = 0; j < pipeline_.dimension(); ++j) {
+    sources.push_back(
+        design_->make_source(doppler::BranchSourceDesign::input_seed(seed, j)));
+  }
+  return sources;
+}
+
+numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
+                                    std::uint64_t block_index,
+                                    std::uint64_t first_instant) const {
+  const std::size_t n = pipeline_.dimension();
+  const std::size_t m = design_->block_size();
+
+  // Stochastic halves run branch-by-branch in a fixed serial order — the
+  // rng consumption order never depends on thread count.
+  for (std::size_t j = 0; j < n; ++j) {
+    sources[j]->advance(rng, block_index);
+  }
+
+  // The deterministic halves (IDFT / window / convolution) are
+  // independent across branches: fill them concurrently.
+  std::vector<numeric::CVector> outputs(n);
+  support::parallel_for_chunked(
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t j = begin; j < end; ++j) {
+          outputs[j].resize(m);
+          sources[j]->fill(std::span<numeric::cdouble>(outputs[j]));
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
+
+  // W row l is the vector (u_1[l] ... u_N[l]); the step-6 normalisation
+  // 1/sigma_g is folded into this transpose pass (same scale-then-color
+  // order, hence the same bits, as scaling inside color_block), then every
+  // time instant is colored with L: Z_l = L W_l / sigma_g (steps 7-8).
+  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
+  numeric::CMatrix w(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const numeric::CVector& u = outputs[j];
+    for (std::size_t l = 0; l < m; ++l) {
+      w(l, j) = u[l] * inv_sigma;
+    }
+  }
+  return pipeline_.color_block(w, 1.0, first_instant);
+}
+
+void FadingStream::replay(SourceList& sources, std::uint64_t seed,
+                          std::uint64_t block_index) const {
+  const std::size_t n = pipeline_.dimension();
+  random::Rng rng = random::block_substream(seed, block_index);
+  for (std::size_t j = 0; j < n; ++j) {
+    sources[j]->advance(rng, block_index);
+  }
+  support::parallel_for_chunked(
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        std::vector<numeric::cdouble> scratch(design_->block_size());
+        for (std::size_t j = begin; j < end; ++j) {
+          sources[j]->fill(scratch);
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
+}
+
+numeric::CMatrix FadingStream::next_block() {
+  random::Rng rng = random::block_substream(seed_, next_block_);
+  numeric::CMatrix z = emit(sources_, rng, next_block_, next_instant());
+  ++next_block_;
+  return z;
+}
+
+numeric::RMatrix FadingStream::next_envelope_block() {
+  return numeric::elementwise_abs(next_block());
+}
+
+void FadingStream::seek(std::uint64_t block_index) {
+  for (auto& source : sources_) {
+    source->reset();
+  }
+  if (design_->history_blocks() > 0 && block_index > 0) {
+    replay(sources_, seed_, block_index - 1);
+  }
+  next_block_ = block_index;
+}
+
+numeric::CMatrix FadingStream::generate_block(std::uint64_t seed,
+                                              std::uint64_t block_index) const {
+  SourceList sources = make_sources(seed);
+  if (design_->history_blocks() > 0 && block_index > 0) {
+    replay(sources, seed, block_index - 1);
+  }
+  random::Rng rng = random::block_substream(seed, block_index);
+  return emit(sources, rng, block_index, block_index * block_size());
+}
+
+numeric::RMatrix FadingStream::generate_envelope_block(
+    std::uint64_t seed, std::uint64_t block_index) const {
+  return numeric::elementwise_abs(generate_block(seed, block_index));
+}
+
+numeric::CMatrix FadingStream::generate_block_from(
+    random::Rng& rng, std::uint64_t first_instant) const {
+  RFADE_EXPECTS(backend() == doppler::StreamBackend::IndependentBlock,
+                "generate_block_from: caller-rng blocks exist only for the "
+                "independent-block backend (the continuous backends key "
+                "their own randomness; use next_block/generate_block)");
+  SourceList sources = make_sources(0);
+  return emit(sources, rng, 0, first_instant);
+}
+
+}  // namespace rfade::core

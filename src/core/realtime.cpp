@@ -1,81 +1,36 @@
 #include "rfade/core/realtime.hpp"
 
-#include <cmath>
-#include <vector>
+#include <utility>
 
 #include "rfade/numeric/matrix_ops.hpp"
-#include "rfade/support/parallel.hpp"
 
 namespace rfade::core {
 
 namespace {
 
-PipelineOptions realtime_pipeline_options(const RealTimeOptions& options) {
-  PipelineOptions pipeline;
-  pipeline.mean_offset = options.los_mean;
-  return pipeline;
+FadingStreamOptions realtime_stream_options(const RealTimeOptions& options) {
+  FadingStreamOptions stream;
+  stream.backend = doppler::StreamBackend::IndependentBlock;
+  stream.idft_size = options.idft_size;
+  stream.normalized_doppler = options.normalized_doppler;
+  stream.input_variance_per_dim = options.input_variance_per_dim;
+  stream.variance_handling = options.variance_handling;
+  stream.los_mean = options.los_mean;
+  stream.coloring = options.coloring;
+  stream.parallel_branches = options.parallel_branches;
+  return stream;
 }
 
 }  // namespace
 
 RealTimeGenerator::RealTimeGenerator(numeric::CMatrix desired_covariance,
                                      RealTimeOptions options)
-    : RealTimeGenerator(ColoringPlan::create(std::move(desired_covariance),
-                                             options.coloring),
-                        options) {}
+    : stream_(std::move(desired_covariance), realtime_stream_options(options)) {
+}
 
 RealTimeGenerator::RealTimeGenerator(std::shared_ptr<const ColoringPlan> plan,
                                      RealTimeOptions options)
-    : pipeline_(std::move(plan), realtime_pipeline_options(options)),
-      branch_(options.idft_size, options.normalized_doppler,
-              options.input_variance_per_dim),
-      parallel_branches_(options.parallel_branches) {
-  // Proposed (Sec. 5 step 6): divide by the Eq. (19) post-filter variance.
-  // Flawed mode (ref. [6]): divide by the input complex variance
-  // 2 sigma_orig^2, as if the Doppler filter did not change the power.
-  assumed_variance_ =
-      options.variance_handling == VarianceHandling::AnalyticCorrection
-          ? branch_.output_variance()
-          : 2.0 * options.input_variance_per_dim;
-}
-
-numeric::CMatrix RealTimeGenerator::generate_block(
-    random::Rng& rng, std::uint64_t first_instant) const {
-  const std::size_t n = pipeline_.dimension();
-  const std::size_t m = branch_.block_size();
-
-  // Spectra are drawn branch-by-branch in a fixed serial order — the rng
-  // consumption order never depends on thread count.
-  std::vector<numeric::CVector> spectra(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    spectra[j] = branch_.draw_spectrum(rng);
-  }
-
-  // The IDFTs are pure and independent: synthesize branches concurrently.
-  std::vector<numeric::CVector> outputs(n);
-  support::parallel_for_chunked(
-      n,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        for (std::size_t j = begin; j < end; ++j) {
-          outputs[j] = branch_.synthesize(spectra[j]);
-        }
-      },
-      {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
-
-  // W row l is the vector (u_1[l] ... u_N[l]); the step-6 normalisation
-  // 1/sigma_g is folded into this transpose pass (same scale-then-color
-  // order, hence the same bits, as scaling inside color_block), then every
-  // time instant is colored with L: Z_l = L W_l / sigma_g (steps 7-8).
-  const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
-  numeric::CMatrix w(m, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const numeric::CVector& u = outputs[j];
-    for (std::size_t l = 0; l < m; ++l) {
-      w(l, j) = u[l] * inv_sigma;
-    }
-  }
-  return pipeline_.color_block(w, 1.0, first_instant);
-}
+    : stream_(std::move(plan), realtime_stream_options(options)) {}
 
 numeric::RMatrix RealTimeGenerator::generate_envelope_block(
     random::Rng& rng, std::uint64_t first_instant) const {

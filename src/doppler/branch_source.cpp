@@ -1,0 +1,288 @@
+#include "rfade/doppler/branch_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "rfade/fft/fft.hpp"
+#include "rfade/random/bulk_gaussian.hpp"
+#include "rfade/random/xoshiro.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::doppler {
+
+const char* stream_backend_name(StreamBackend backend) noexcept {
+  switch (backend) {
+    case StreamBackend::IndependentBlock:
+      return "independent-block";
+    case StreamBackend::WindowedOverlapAdd:
+      return "windowed-overlap-add";
+    case StreamBackend::OverlapSaveFir:
+      return "overlap-save-fir";
+  }
+  return "unknown";
+}
+
+// --- sources ----------------------------------------------------------------
+
+namespace {
+
+/// Shared advance half of the rng-driven backends: draw the block's
+/// weighted spectrum in the caller's serial order, synthesize it later
+/// (in fill) off the serial path.
+class SpectrumDrawingSource : public BranchSource {
+ public:
+  explicit SpectrumDrawingSource(const BranchSourceDesign& design)
+      : design_(design) {}
+
+  void advance(random::Rng& rng, std::uint64_t /*block_index*/) override {
+    spectrum_ = design_.branch().draw_spectrum(rng);
+  }
+
+ protected:
+  const BranchSourceDesign& design_;
+  numeric::CVector spectrum_;
+};
+
+}  // namespace
+
+/// Paper Sec. 5 verbatim: every block is an independent IDFT realisation.
+class IndependentBlockBranchSource final : public SpectrumDrawingSource {
+ public:
+  using SpectrumDrawingSource::SpectrumDrawingSource;
+
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return design_.block_size();
+  }
+
+  void fill(std::span<numeric::cdouble> out) override {
+    const numeric::CVector u = design_.branch().synthesize(spectrum_);
+    std::copy(u.begin(), u.end(), out.begin());
+  }
+
+  void reset() override { spectrum_.clear(); }
+};
+
+/// Equal-power crossfade of consecutive independent block realisations.
+/// Chunk 0 plays the first block's head verbatim; every later chunk blends
+/// the previous block's tail into the current block's head over `overlap`
+/// samples — the exact sample sequence of the historical per-sample
+/// StreamingFadingSource, emitted M - overlap samples at a time.
+class WolaBranchSource final : public SpectrumDrawingSource {
+ public:
+  using SpectrumDrawingSource::SpectrumDrawingSource;
+
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return design_.block_size();
+  }
+
+  void fill(std::span<numeric::cdouble> out) override {
+    const std::size_t hop = design_.block_size();
+    const std::size_t overlap = design_.overlap();
+    numeric::CVector current = design_.branch().synthesize(spectrum_);
+    if (previous_.empty()) {
+      std::copy(current.begin(), current.begin() + hop, out.begin());
+    } else {
+      for (std::size_t i = 0; i < overlap; ++i) {
+        out[i] = design_.fade_out_[i] * previous_[hop + i] +
+                 design_.fade_in_[i] * current[i];
+      }
+      std::copy(current.begin() + overlap, current.begin() + hop,
+                out.begin() + overlap);
+    }
+    previous_ = std::move(current);
+  }
+
+  void reset() override {
+    spectrum_.clear();
+    previous_.clear();
+  }
+
+ private:
+  numeric::CVector previous_;
+};
+
+/// Exact continuous stream: overlap-save FFT convolution of the centered
+/// Eq. (21) impulse response against a persistent white Gaussian input
+/// stream.  Output block b is the linear convolution evaluated over input
+/// samples [bM, bM + 2M) of the branch's bulk-Philox substream — a pure
+/// function of (branch seed, block index), with a shift fast path when
+/// blocks are consumed in order.
+class OverlapSaveBranchSource final : public BranchSource {
+ public:
+  OverlapSaveBranchSource(const BranchSourceDesign& design,
+                          std::uint64_t branch_seed)
+      : design_(design), branch_seed_(branch_seed) {}
+
+  [[nodiscard]] std::size_t block_size() const noexcept override {
+    return design_.block_size();
+  }
+
+  void advance(random::Rng& /*rng*/, std::uint64_t block_index) override {
+    pending_block_ = block_index;
+  }
+
+  void fill(std::span<numeric::cdouble> out) override {
+    const std::size_t m = design_.block_size();
+    ensure_inputs(pending_block_);
+    // Circular 2M convolution; entries [M-1, 2M) are wrap-free, i.e. the
+    // linear convolution of the kernel with this input span.
+    numeric::CVector spectrum = fft::dft(inputs_);
+    for (std::size_t k = 0; k < spectrum.size(); ++k) {
+      spectrum[k] *= design_.kernel_spectrum_[k];
+    }
+    const numeric::CVector y = fft::idft(spectrum);
+    std::copy(y.begin() + (m - 1), y.begin() + (2 * m - 1), out.begin());
+  }
+
+  void reset() override {
+    inputs_.clear();
+    have_inputs_ = false;
+  }
+
+ private:
+  /// Make inputs_ hold samples [block*M, block*M + 2M) of the branch
+  /// input substream, shifting the overlapping half when advancing
+  /// sequentially and regenerating both halves otherwise.
+  void ensure_inputs(std::uint64_t block) {
+    const std::size_t m = design_.block_size();
+    if (re_.size() < m) {
+      re_.resize(m);
+      im_.resize(m);
+    }
+    if (have_inputs_ && block == input_block_) {
+      return;
+    }
+    if (have_inputs_ && block == input_block_ + 1) {
+      std::copy(inputs_.begin() + m, inputs_.end(), inputs_.begin());
+      fetch(block * m + m, inputs_.data() + m);
+    } else {
+      inputs_.resize(2 * m);
+      fetch(block * m, inputs_.data());
+      fetch(block * m + m, inputs_.data() + m);
+    }
+    input_block_ = block;
+    have_inputs_ = true;
+  }
+
+  /// One M-sample planar bulk fill at absolute stream offset
+  /// \p first_sample, interleaved into \p out.
+  void fetch(std::uint64_t first_sample, numeric::cdouble* out) {
+    const std::size_t m = design_.block_size();
+    random::fill_complex_gaussians_planar(
+        branch_seed_, /*stream=*/0, design_.input_stream_variance_,
+        first_sample, m, re_.data(), im_.data());
+    for (std::size_t t = 0; t < m; ++t) {
+      out[t] = numeric::cdouble(re_[t], im_[t]);
+    }
+  }
+
+  const BranchSourceDesign& design_;
+  std::uint64_t branch_seed_;
+  std::uint64_t pending_block_ = 0;
+  numeric::CVector inputs_;  ///< [input_block_*M, input_block_*M + 2M)
+  std::uint64_t input_block_ = 0;
+  bool have_inputs_ = false;
+  numeric::RVector re_;
+  numeric::RVector im_;
+};
+
+// --- design -----------------------------------------------------------------
+
+BranchSourceDesign::BranchSourceDesign(StreamBackend backend, std::size_t m,
+                                       double fm,
+                                       double input_variance_per_dim,
+                                       std::size_t overlap)
+    : backend_(backend), branch_(m, fm, input_variance_per_dim) {
+  switch (backend_) {
+    case StreamBackend::IndependentBlock:
+      RFADE_EXPECTS(overlap == 0,
+                    "BranchSourceDesign: overlap is a WOLA parameter");
+      block_size_ = m;
+      break;
+    case StreamBackend::WindowedOverlapAdd: {
+      overlap_ = overlap == 0 ? m / 8 : overlap;
+      RFADE_EXPECTS(overlap_ >= 1,
+                    "BranchSourceDesign: WOLA overlap must be >= 1");
+      RFADE_EXPECTS(overlap_ < m / 2,
+                    "BranchSourceDesign: WOLA overlap must be < M/2");
+      block_size_ = m - overlap_;
+      fade_in_.resize(overlap_);
+      fade_out_.resize(overlap_);
+      for (std::size_t i = 0; i < overlap_; ++i) {
+        // The historical StreamingFadingSource weights, bit-for-bit.
+        const double w = static_cast<double>(i + 1) /
+                         static_cast<double>(overlap_ + 1);
+        fade_in_[i] = std::sqrt(w);
+        fade_out_[i] = std::sqrt(1.0 - w);
+      }
+      break;
+    }
+    case StreamBackend::OverlapSaveFir: {
+      RFADE_EXPECTS(overlap == 0,
+                    "BranchSourceDesign: overlap is a WOLA parameter");
+      block_size_ = m;
+      // Impulse response h = IDFT(F): DFT(h) = F, so h convolved with a
+      // white stream of per-sample complex variance 2 sigma_orig^2 / M
+      // reproduces the Fig. 2 block statistics — Parseval gives
+      // E|y|^2 = (2 sigma_orig^2 / M) sum|h|^2 = sigma_g^2 (Eq. 19).
+      numeric::CVector f(m);
+      for (std::size_t k = 0; k < m; ++k) {
+        f[k] = numeric::cdouble(branch_.filter().coefficients[k], 0.0);
+      }
+      const numeric::CVector h = fft::idft(f);
+      // h peaks at l = 0 (mod M); center it so the *linear* FIR
+      // autocorrelation matches the circular Eq. (17) law up to the small
+      // tail wraparound, at the price of an irrelevant M/2 group delay.
+      numeric::CVector centered(2 * m, numeric::cdouble{});
+      const std::size_t shift = m / 2;
+      for (std::size_t k = 0; k < m; ++k) {
+        centered[k] = h[(k + m - shift) % m];
+      }
+      kernel_spectrum_ = fft::dft(centered);
+      input_stream_variance_ = 2.0 * input_variance_per_dim /
+                               static_cast<double>(m);
+      break;
+    }
+  }
+}
+
+std::size_t BranchSourceDesign::continuity_horizon() const noexcept {
+  switch (backend_) {
+    case StreamBackend::IndependentBlock:
+      return 0;
+    case StreamBackend::WindowedOverlapAdd:
+      return overlap_;
+    case StreamBackend::OverlapSaveFir:
+      return std::numeric_limits<std::size_t>::max();
+  }
+  return 0;
+}
+
+std::unique_ptr<BranchSource> BranchSourceDesign::make_source(
+    std::uint64_t branch_seed) const {
+  switch (backend_) {
+    case StreamBackend::IndependentBlock:
+      return std::make_unique<IndependentBlockBranchSource>(*this);
+    case StreamBackend::WindowedOverlapAdd:
+      return std::make_unique<WolaBranchSource>(*this);
+    case StreamBackend::OverlapSaveFir:
+      return std::make_unique<OverlapSaveBranchSource>(*this, branch_seed);
+  }
+  return nullptr;
+}
+
+std::uint64_t BranchSourceDesign::input_seed(std::uint64_t seed,
+                                             std::size_t branch) {
+  // splitmix64 over (seed, branch), salted so branch input streams are
+  // disjoint from the cascade stage seeds (splitmix of
+  // seed + (stage+1)*golden) and the TWDP phase seed for every plausible
+  // branch count.
+  std::uint64_t state = (seed ^ 0x0B5A9C1D2E3F4A5BULL) +
+                        (static_cast<std::uint64_t>(branch) + 1) *
+                            0x9E3779B97F4A7C15ULL;
+  return random::splitmix64(state);
+}
+
+}  // namespace rfade::doppler

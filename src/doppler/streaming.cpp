@@ -1,56 +1,36 @@
 #include "rfade/doppler/streaming.hpp"
 
-#include <cmath>
-
 #include "rfade/support/contracts.hpp"
 
 namespace rfade::doppler {
 
+namespace {
+
+std::size_t checked_overlap(std::size_t overlap) {
+  // The shim keeps the historical explicit contract: an overlap of 0 is
+  // rejected here rather than mapped to the stream-layer default.
+  RFADE_EXPECTS(overlap >= 1, "StreamingFadingSource: overlap must be >= 1");
+  return overlap;
+}
+
+}  // namespace
+
 StreamingFadingSource::StreamingFadingSource(std::size_t m, double fm,
                                              double input_variance_per_dim,
                                              std::size_t overlap)
-    : branch_(m, fm, input_variance_per_dim), overlap_(overlap) {
-  RFADE_EXPECTS(overlap >= 1, "StreamingFadingSource: overlap must be >= 1");
-  RFADE_EXPECTS(overlap < m / 2,
-                "StreamingFadingSource: overlap must be < M/2");
-}
-
-void StreamingFadingSource::advance_block(random::Rng& rng) {
-  if (!primed_) {
-    current_ = branch_.generate_block(rng);
-    next_ = branch_.generate_block(rng);
-    primed_ = true;
-    return;
-  }
-  current_ = std::move(next_);
-  next_ = branch_.generate_block(rng);
-}
+    : design_(StreamBackend::WindowedOverlapAdd, m, fm,
+              input_variance_per_dim, checked_overlap(overlap)),
+      source_(design_.make_source(0)) {}
 
 numeric::cdouble StreamingFadingSource::next(random::Rng& rng) {
-  const std::size_t m = branch_.block_size();
-  if (!primed_) {
-    advance_block(rng);
+  if (position_ >= buffer_.size()) {
+    buffer_.resize(design_.block_size());
+    source_->advance(rng, block_index_);
+    source_->fill(buffer_);
+    ++block_index_;
     position_ = 0;
-  } else if (position_ >= m) {
-    advance_block(rng);
-    // The first `overlap_` samples of the new current block were already
-    // blended into the tail of the previous one; skip past them.
-    position_ = overlap_;
   }
-  const std::size_t fade_start = m - overlap_;
-  numeric::cdouble sample;
-  if (position_ < fade_start) {
-    sample = current_[position_];
-  } else {
-    // Equal-power crossfade into the head of the next block.
-    const double w = static_cast<double>(position_ - fade_start + 1) /
-                     static_cast<double>(overlap_ + 1);
-    const std::size_t next_index = position_ - fade_start;
-    sample = std::sqrt(1.0 - w) * current_[position_] +
-             std::sqrt(w) * next_[next_index];
-  }
-  ++position_;
-  return sample;
+  return buffer_[position_++];
 }
 
 numeric::CVector StreamingFadingSource::take(std::size_t count,

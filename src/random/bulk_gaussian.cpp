@@ -43,6 +43,14 @@ void box_muller_tile(const double* __restrict u, const double* __restrict v,
 void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
                                    double variance, std::size_t count,
                                    double* re, double* im) {
+  fill_complex_gaussians_planar(seed, stream, variance, /*first_sample=*/0,
+                                count, re, im);
+}
+
+void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
+                                   double variance,
+                                   std::uint64_t first_sample,
+                                   std::size_t count, double* re, double* im) {
   const std::array<std::uint32_t, 2> key = {
       static_cast<std::uint32_t>(seed),
       static_cast<std::uint32_t>(seed >> 32)};
@@ -59,7 +67,7 @@ void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
     // Counter -> uniforms: block t gives u in (0, 1] (log-safe) and the
     // angle uniform v in [0, 1), exactly as Rng's Box-Muller consumes them.
     for (std::size_t t = 0; t < m; ++t) {
-      const std::uint64_t index = base + t;
+      const std::uint64_t index = first_sample + base + t;
       const std::array<std::uint32_t, 4> words = detail::philox_block(
           key, {static_cast<std::uint32_t>(index),
                 static_cast<std::uint32_t>(index >> 32), stream_lo,

@@ -23,6 +23,22 @@ core::RealTimeOptions stage_realtime_options(
   return stage;
 }
 
+core::FadingStreamOptions stage_stream_options(
+    const CascadedRealTimeOptions& options, double doppler,
+    std::uint64_t stage) {
+  core::FadingStreamOptions stream;
+  stream.backend = options.backend;
+  stream.idft_size = options.idft_size;
+  stream.normalized_doppler = doppler;
+  stream.input_variance_per_dim = options.input_variance_per_dim;
+  stream.overlap = options.overlap;
+  stream.variance_handling = options.variance_handling;
+  stream.parallel_branches = options.parallel_branches;
+  stream.seed = CascadedRealTimeGenerator::stage_seed(options.stream_seed,
+                                                      stage);
+  return stream;
+}
+
 numeric::CMatrix hadamard(const numeric::CMatrix& a,
                           const numeric::CMatrix& b) {
   numeric::CMatrix out(a.rows(), a.cols());
@@ -43,10 +59,13 @@ CascadedRealTimeGenerator::CascadedRealTimeGenerator(
     std::shared_ptr<const core::ColoringPlan> first,
     std::shared_ptr<const core::ColoringPlan> second,
     CascadedRealTimeOptions options)
-    : first_(std::move(first), stage_realtime_options(options,
-                                                      options.first_doppler)),
-      second_(std::move(second),
-              stage_realtime_options(options, options.second_doppler)) {
+    : first_(first, stage_realtime_options(options, options.first_doppler)),
+      second_(second, stage_realtime_options(options, options.second_doppler)),
+      first_stream_(std::move(first),
+                    stage_stream_options(options, options.first_doppler, 0)),
+      second_stream_(std::move(second),
+                     stage_stream_options(options, options.second_doppler,
+                                          1)) {
   RFADE_EXPECTS(first_.dimension() == second_.dimension(),
                 "CascadedRealTimeGenerator: stage dimensions must match");
   effective_ = hadamard(first_.effective_covariance(),
@@ -65,20 +84,33 @@ CascadedRealTimeGenerator::CascadedRealTimeGenerator(
 
 numeric::CMatrix CascadedRealTimeGenerator::generate_block(
     std::uint64_t seed, std::uint64_t block_index) const {
-  // Each stage draws its whole block from its own Philox stream keyed by
+  // Each stage draws its block from its own Philox stream keyed by
   // (stage seed, block_index + 1) — the same disjointness scheme as the
-  // instant-mode cascade, and the +1 keeps block streams off the default
-  // stream 0 of a root Rng(seed).
-  random::Rng rng1(stage_seed(seed, 0), block_index + 1);
-  random::Rng rng2(stage_seed(seed, 1), block_index + 1);
-  const numeric::CMatrix z1 = first_.generate_block(rng1);
-  const numeric::CMatrix z2 = second_.generate_block(rng2);
+  // instant-mode cascade, now through the shared stream layer's keyed
+  // path, so it holds for every backend.
+  const numeric::CMatrix z1 =
+      first_stream_.generate_block(stage_seed(seed, 0), block_index);
+  const numeric::CMatrix z2 =
+      second_stream_.generate_block(stage_seed(seed, 1), block_index);
   return hadamard(z1, z2);
 }
 
 numeric::RMatrix CascadedRealTimeGenerator::generate_envelope_block(
     std::uint64_t seed, std::uint64_t block_index) const {
   return numeric::elementwise_abs(generate_block(seed, block_index));
+}
+
+numeric::CMatrix CascadedRealTimeGenerator::next_block() {
+  return hadamard(first_stream_.next_block(), second_stream_.next_block());
+}
+
+numeric::RMatrix CascadedRealTimeGenerator::next_envelope_block() {
+  return numeric::elementwise_abs(next_block());
+}
+
+void CascadedRealTimeGenerator::seek(std::uint64_t block_index) {
+  first_stream_.seek(block_index);
+  second_stream_.seek(block_index);
 }
 
 numeric::RVector

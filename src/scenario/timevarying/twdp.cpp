@@ -236,4 +236,19 @@ core::EnvelopeValidationReport validate_twdp(
       generator.marginals(), options);
 }
 
+core::FadingStream twdp_fading_stream(
+    std::shared_ptr<const core::ColoringPlan> plan, const TwdpSpec& spec,
+    double first_wave_doppler, double second_wave_doppler,
+    core::FadingStreamOptions options) {
+  RFADE_EXPECTS(plan != nullptr, "twdp_fading_stream: plan must not be null");
+  RFADE_EXPECTS(plan->dimension() == spec.dimension(),
+                "twdp_fading_stream: plan dimension must match the spec");
+  // The wave pair rides the stream's mean hook; realtime_mean validates
+  // the wave Dopplers and collapses to the zero mean when K = 0, so a
+  // pure-Rayleigh spec takes the meanless fast path bit-for-bit.
+  options.los_mean =
+      spec.realtime_mean(*plan, first_wave_doppler, second_wave_doppler);
+  return core::FadingStream(std::move(plan), std::move(options));
+}
+
 }  // namespace rfade::scenario
