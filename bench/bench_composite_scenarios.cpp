@@ -1,0 +1,134 @@
+// Composite-fading throughput: the multiplicative GainSource hook on the
+// batched keyed-block path.  CompositeRayleighBaseline is the gain-free
+// pipeline and doubles as the per-compiler regression reference —
+// bench/check_regression.py gates the other entries on their cost *ratio*
+// to it at matched (N, block):
+//
+//   * CompositeUnitGain      — must be ~1.0x: the unit GainSource takes
+//     the exact gain-free code path (one branch check), mirroring PR 3's
+//     constant-mean overhead proof;
+//   * CompositeConstantGain  — one multiply pass over the colored block;
+//   * CompositeSuzukiShadowing — the correlated-lognormal gain (FIR
+//     shadowing nodes + exp + lerp per row);
+//   * CompositeNakagamiCopula  — the full marginal transform (|z|^2 ->
+//     exponential -> inverse incomplete-gamma quantile per sample), the
+//     priciest composite path by far.
+//
+// Smoke mode for CI: --benchmark_min_time=0.05.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "rfade/core/gain_source.hpp"
+#include "rfade/core/plan.hpp"
+#include "rfade/scenario/composite/copula.hpp"
+#include "rfade/scenario/composite/shadowing.hpp"
+#include "rfade/stats/distributions.hpp"
+
+using namespace rfade;
+using numeric::cdouble;
+using numeric::CMatrix;
+
+namespace {
+
+CMatrix tridiagonal_covariance(std::size_t n) {
+  CMatrix k = CMatrix::identity(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    k(i, i + 1) = cdouble(0.4, 0.2);
+    k(i + 1, i) = cdouble(0.4, -0.2);
+  }
+  return k;
+}
+
+void run_pipeline(benchmark::State& state, core::GainSource gain,
+                  const char* label) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  const auto plan = core::ColoringPlan::create(tridiagonal_covariance(n));
+  core::PipelineOptions options;
+  options.gain = std::move(gain);
+  const core::SamplePipeline pipeline(plan, options);
+  std::uint64_t block_index = 0;
+  for (auto _ : state) {
+    const CMatrix z = pipeline.sample_block(block, 0xC0BB, block_index++);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+  state.SetLabel(label);
+}
+
+void CompositeRayleighBaseline(benchmark::State& state) {
+  run_pipeline(state, core::GainSource(), "gain-free keyed blocks");
+}
+BENCHMARK(CompositeRayleighBaseline)
+    ->ArgsProduct({{8, 32}, {4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+void CompositeUnitGain(benchmark::State& state) {
+  run_pipeline(state, core::GainSource::unit(), "unit gain (~0 overhead)");
+}
+BENCHMARK(CompositeUnitGain)
+    ->ArgsProduct({{8, 32}, {4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+void CompositeConstantGain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_pipeline(state, core::GainSource::constant(numeric::RVector(n, 1.5)),
+               "constant gain multiply pass");
+}
+BENCHMARK(CompositeConstantGain)
+    ->ArgsProduct({{8, 32}, {4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+void CompositeSuzukiShadowing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  scenario::composite::ShadowingSpec spec;
+  spec.sigma_db = 6.0;
+  spec.decorrelation_samples = 2048.0;
+  spec.spacing = 64;
+  run_pipeline(state,
+               core::GainSource::dynamic(
+                   std::make_shared<const scenario::composite::ShadowingProcess>(
+                       n, spec, 0x5D)),
+               "correlated-lognormal gain");
+}
+BENCHMARK(CompositeSuzukiShadowing)
+    ->ArgsProduct({{8, 32}, {4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+void CompositeNakagamiCopula(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  numeric::RMatrix target(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    target(i, i) = 1.0;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    target(i, i + 1) = target(i + 1, i) = 0.4;
+  }
+  std::vector<scenario::composite::CopulaMarginal> marginals;
+  for (std::size_t j = 0; j < n; ++j) {
+    marginals.push_back(
+        scenario::composite::CopulaMarginal::nakagami(2.5, 1.0));
+  }
+  const scenario::composite::CopulaMarginalTransform transform(
+      target, std::move(marginals));
+  std::uint64_t block_index = 0;
+  for (auto _ : state) {
+    const numeric::RMatrix r =
+        transform.sample_envelope_block(block, 0xC0B, block_index++);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+  state.SetLabel("copula marginal transform");
+}
+BENCHMARK(CompositeNakagamiCopula)
+    ->ArgsProduct({{8, 32}, {4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

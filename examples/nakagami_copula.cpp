@@ -1,0 +1,141 @@
+// Correlated Nakagami-m / Weibull envelopes via the Gaussian copula over
+// the paper's correlated complex-Gaussian core (scenario/composite/):
+// each branch of the core is pushed through Phi -> inverse target CDF,
+// and the caller's *envelope-domain* correlation target is pre-distorted
+// through the Downton/Laguerre expansion so the realised Pearson
+// correlation of the transformed envelopes matches the spec (Xu et al.,
+// arXiv:2509.09411).
+//
+//   build/examples/nakagami_copula [--samples 120000] [--seed 11]
+//                                  [--rho 0.6]
+//
+// The program prints the pre-distorted Gaussian power correlations, KS
+// results for Nakagami m in {0.5, 1, 2.5, 4}, and the measured vs target
+// envelope correlations.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "rfade/scenario/composite/copula.hpp"
+#include "rfade/stats/moments.hpp"
+#include "rfade/support/cli.hpp"
+#include "rfade/support/table.hpp"
+
+using namespace rfade;
+using scenario::composite::CopulaMarginal;
+using scenario::composite::CopulaMarginalTransform;
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv);
+  const std::size_t samples = args.get_size("samples", 120000);
+  const std::uint64_t seed = args.get_size("seed", 11);
+  const double rho = args.get_double("rho", 0.6);
+
+  // Four branches, one per acceptance shape m, with a Weibull guest in a
+  // second run below; neighbours share the envelope correlation target.
+  const std::vector<double> shapes = {0.5, 1.0, 2.5, 4.0};
+  numeric::RMatrix target(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    target(i, i) = 1.0;
+  }
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    target(i, i + 1) = target(i + 1, i) = rho;
+  }
+  std::vector<CopulaMarginal> marginals;
+  for (double m : shapes) {
+    marginals.push_back(CopulaMarginal::nakagami(m, 1.0 + 0.5 * m));
+  }
+  const CopulaMarginalTransform transform(target, marginals);
+
+  support::TablePrinter predistortion(
+      "Pre-distortion: envelope target rho_env -> core power corr lambda");
+  predistortion.set_header({"pair", "m_i / m_j", "rho_env", "lambda"});
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    char pair[16];
+    char ms[32];
+    std::snprintf(pair, sizeof(pair), "%zu-%zu", i, i + 1);
+    std::snprintf(ms, sizeof(ms), "%.1f / %.1f", shapes[i], shapes[i + 1]);
+    predistortion.add_row(
+        {pair, ms, support::fixed(rho, 3),
+         support::fixed(transform.predistorted_power_correlation(i, i + 1),
+                        4)});
+  }
+  predistortion.print();
+
+  core::ValidationOptions options;
+  options.samples = samples;
+  options.seed = seed;
+  options.ks_samples_per_branch = 10000;
+  const auto report = scenario::composite::validate_copula(transform, options);
+  support::TablePrinter marginal_table("Nakagami-m marginals after the copula");
+  marginal_table.set_header(
+      {"m", "E[r] theory", "E[r] measured", "var err", "KS p"});
+  for (std::size_t j = 0; j < 4; ++j) {
+    marginal_table.add_row({support::fixed(shapes[j], 1),
+                            support::fixed(transform.marginal(j).mean(), 4),
+                            support::fixed(report.measured_mean[j], 4),
+                            support::scientific(report.variance_rel_error[j]),
+                            support::fixed(report.ks_p_values[j], 4)});
+  }
+  marginal_table.print();
+
+  // Measured envelope correlation vs the spec and vs the post-PSD-forcing
+  // prediction.  A chain of rho = 0.6 pairs over very different marginals
+  // can demand a non-PSD Gaussian core; the plan layer then forces it
+  // exactly as the paper forces K (Sec. 4.2), and
+  // predicted_envelope_correlation() reports what the forced core
+  // realises — the measured values must match *that*.
+  const numeric::RMatrix predicted = transform.predicted_envelope_correlation();
+  const numeric::RMatrix r = transform.sample_envelope_stream(samples, seed);
+  std::vector<stats::RunningStats> branch_stats(4);
+  for (std::size_t t = 0; t < r.rows(); ++t) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      branch_stats[j].add(r(t, j));
+    }
+  }
+  support::TablePrinter corr_table(
+      "Realized envelope correlation (target vs post-forcing prediction)");
+  corr_table.set_header({"pair", "target", "predicted", "measured"});
+  bool ok = true;
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    double cross = 0.0;
+    for (std::size_t t = 0; t < r.rows(); ++t) {
+      cross += (r(t, i) - branch_stats[i].mean()) *
+               (r(t, i + 1) - branch_stats[i + 1].mean());
+    }
+    const double measured =
+        cross / (static_cast<double>(r.rows()) *
+                 std::sqrt(branch_stats[i].variance() *
+                           branch_stats[i + 1].variance()));
+    ok = ok && std::abs(measured - predicted(i, i + 1)) < 0.03;
+    char pair[16];
+    std::snprintf(pair, sizeof(pair), "%zu-%zu", i, i + 1);
+    corr_table.add_row({pair, support::fixed(rho, 3),
+                        support::fixed(predicted(i, i + 1), 4),
+                        support::fixed(measured, 4)});
+  }
+  corr_table.print();
+
+  // Weibull guest pair: the same machinery with closed-form quantiles.
+  numeric::RMatrix weibull_target(2, 2, 0.0);
+  weibull_target(0, 0) = weibull_target(1, 1) = 1.0;
+  weibull_target(0, 1) = weibull_target(1, 0) = rho;
+  const CopulaMarginalTransform weibull(
+      weibull_target,
+      {CopulaMarginal::weibull(1.5, 1.0), CopulaMarginal::weibull(3.0, 2.0)});
+  const auto weibull_report =
+      scenario::composite::validate_copula(weibull, options);
+  std::printf("\nWeibull pair (k = 1.5, 3.0): worst KS p = %.4f, max mean "
+              "err = %.2e\n",
+              weibull_report.worst_ks_p_value,
+              weibull_report.max_mean_rel_error);
+
+  if (!ok || report.worst_ks_p_value < 1e-4 ||
+      weibull_report.worst_ks_p_value < 1e-4) {
+    std::printf("FAILED: realized statistics drifted from the spec\n");
+    return 1;
+  }
+  std::printf("\nAll marginals and correlations match the spec.\n");
+  return 0;
+}

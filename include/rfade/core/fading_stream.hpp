@@ -78,6 +78,14 @@ struct FadingStreamOptions {
   /// Optional specular mean m(l) added to every colored instant, indexed
   /// by the absolute stream instant (continuous across blocks).
   MeanSource los_mean;
+  /// Optional multiplicative per-branch amplitude gain g(l) applied after
+  /// coloring and mean addition, indexed by the absolute stream instant —
+  /// the composite-fading (shadowing) hook.  The default unit gain takes
+  /// the exact gain-free code paths (bit-identical output); the dynamic
+  /// form keys its own randomness (e.g. ShadowingProcess's seekable
+  /// bulk-Philox substreams), so next_block/seek/generate_block stay
+  /// equivalent for every backend.
+  GainSource gain;
   ColoringOptions coloring;
   /// Synthesize the N branch fills concurrently on the global thread
   /// pool.  Output is bit-identical either way.

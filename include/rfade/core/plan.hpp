@@ -32,6 +32,7 @@
 #include <span>
 
 #include "rfade/core/coloring.hpp"
+#include "rfade/core/gain_source.hpp"
 #include "rfade/core/mean_source.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
@@ -123,6 +124,16 @@ struct PipelineOptions {
   /// treated exactly like the default, so a K = 0 scenario reproduces
   /// the zero-mean output bit-for-bit.
   MeanSource mean_offset;
+  /// Optional multiplicative per-branch amplitude gain g(l) applied after
+  /// coloring and mean addition: Z_l = g(l) (.) (L W_l / sigma_w + m(l)).
+  /// The default (unit) GainSource is the paper's pipeline with no
+  /// multiply pass at all — output is bit-identical to the gain-free
+  /// paths; a constant vector models fixed per-link attenuation, and the
+  /// dynamic form (e.g. scenario/composite's correlated-lognormal
+  /// ShadowingProcess) is indexed by the absolute time instant of each
+  /// row exactly like the mean.  A non-unit gain must have dimension()
+  /// entries; an all-ones constant is treated exactly like the default.
+  GainSource gain;
   /// Rows per block in the batched paths; also the work-unit handed to the
   /// thread pool by sample_stream (and the granularity of the per-block
   /// Philox substreams, so changing it changes the stream's bit pattern).
@@ -162,10 +173,20 @@ class SamplePipeline {
     return has_mean_ && options_.mean_offset.is_time_varying();
   }
 
+  /// True when a non-unit multiplicative gain is applied to every draw.
+  [[nodiscard]] bool has_gain() const noexcept { return has_gain_; }
+
+  /// True when the gain depends on the time instant (so draw paths must
+  /// be given a meaningful first_instant).
+  [[nodiscard]] bool has_time_varying_gain() const noexcept {
+    return has_gain_ && options_.gain.is_time_varying();
+  }
+
   // --- per-draw path (steps 6-7, one time instant) -------------------------
 
-  /// Write one draw Z = L W / sigma_w + m(\p instant) into \p out
-  /// (size N).  \p instant only matters for time-varying means.
+  /// Write one draw Z = g(\p instant) (.) (L W / sigma_w + m(\p instant))
+  /// into \p out (size N).  \p instant only matters for time-varying
+  /// means/gains.
   void sample_into(random::Rng& rng, std::span<numeric::cdouble> out,
                    std::uint64_t instant = 0) const;
 
@@ -238,8 +259,9 @@ class SamplePipeline {
   // --- shared coloring of externally-drawn W --------------------------------
 
   /// Color a block of externally-generated white vectors (rows of \p w,
-  /// count x N): out = (w / sqrt(variance)) * L^T (+ the mean at instant
-  /// \p first_instant + t on row t when configured).  This is the Sec. 5
+  /// count x N): out = (w / sqrt(variance)) * L^T (+ the mean, then the
+  /// multiplicative gain, at instant \p first_instant + t on row t when
+  /// configured).  This is the Sec. 5
   /// step 6-8 normalisation + coloring used by the real-time generators;
   /// \p variance is the (assumed) per-branch complex variance divided
   /// out.  variance == 1.0 (input already normalised) skips the scaling
@@ -268,10 +290,18 @@ class SamplePipeline {
   void add_mean_rows(std::uint64_t first_instant, std::size_t rows,
                      numeric::cdouble* out) const;
 
+  /// Apply the mean-then-gain tail of every draw path to the `rows`
+  /// colored N-vectors in `out`: row t gains m(first_instant + t) and is
+  /// then scaled by g(first_instant + t).  No-op for the default
+  /// zero-mean/unit-gain pipeline.
+  void finish_rows(std::uint64_t first_instant, std::size_t rows,
+                   numeric::cdouble* out) const;
+
   std::shared_ptr<const ColoringPlan> plan_;
   PipelineOptions options_;
   double inv_sigma_w_;
   bool has_mean_ = false;
+  bool has_gain_ = false;
 };
 
 }  // namespace rfade::core

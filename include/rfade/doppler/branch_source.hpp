@@ -55,6 +55,10 @@
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
 
+namespace rfade::fft {
+class Pow2Plan;
+}  // namespace rfade::fft
+
 namespace rfade::doppler {
 
 /// Which temporal-synthesis backend drives each branch (see file comment).
@@ -168,6 +172,12 @@ class BranchSourceDesign {
   /// stream that reproduces the Fig. 2 output statistics exactly.
   numeric::CVector kernel_spectrum_;
   double input_stream_variance_ = 0.0;
+  /// Overlap-save: precomputed 2M-point FFT plan (twiddles + bit-reverse
+  /// permutation) shared by every branch source, so the two transforms
+  /// per block stop recomputing ~2M twiddle multiplies each.  Null for
+  /// non-power-of-two 2M (Bluestein path) and the other backends; the
+  /// planned transform is bit-identical to the ad-hoc one.
+  std::shared_ptr<const fft::Pow2Plan> convolution_plan_;
 
   friend class IndependentBlockBranchSource;
   friend class WolaBranchSource;

@@ -90,6 +90,26 @@ void multiply_block_planar(const double* a_re, const double* a_im,
                            std::size_t m, std::size_t k, const double* b_re,
                            const double* b_im, std::size_t n, cdouble* c);
 
+// --- streaming passes --------------------------------------------------------
+
+/// WOLA equal-power crossfade (the per-seam pass of the
+/// windowed-overlap-add branch source):
+///   out[i] = fade_out[i] * previous[i] + fade_in[i] * current[i],
+/// with real weight vectors applied to complex samples.  Multiversioned
+/// (target_clones, like the planar GEMM) with no FMA, so every clone
+/// reproduces the scalar mul/add bit pattern.  \p out must not alias
+/// any input.
+void crossfade_block(const double* fade_out, const double* fade_in,
+                     const cdouble* previous, const cdouble* current,
+                     std::size_t count, cdouble* out);
+
+/// Strided scale-and-scatter (the branch->row interleave pass of the
+/// stream engine): out[l * stride] = u[l] * scale for l in [0, count).
+/// Multiversioned like crossfade_block; bit-identical to the scalar
+/// loop.
+void scale_into_strided(const cdouble* u, std::size_t count, double scale,
+                        cdouble* out, std::size_t stride);
+
 /// Trace of a square matrix.
 [[nodiscard]] cdouble trace(const CMatrix& a);
 

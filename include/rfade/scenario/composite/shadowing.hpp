@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file shadowing.hpp
+/// \brief Correlated lognormal shadowing: a Gudmundson-style
+///        exponentially correlated Gaussian-in-dB gain process behind the
+///        core::TimeVaryingGain hook.
+///
+/// Composite (Suzuki) channels modulate the paper's correlated diffuse
+/// field by a slowly-varying lognormal amplitude gain (Suzuki, "A
+/// Statistical Model for Urban Radio Propagation", IEEE Trans. Commun.
+/// 25(7), 1977).  The canonical correlation model for the dB-domain
+/// Gaussian S is Gudmundson's exponential law
+///
+///   E[S(l) S(l + d)] = sigma_dB^2 e^{-|d| / D}
+///
+/// ("Correlation Model for Shadow Fading in Mobile Radio Systems",
+/// Electron. Lett. 27(23), 1991), with D the decorrelation distance in
+/// samples.  ShadowingProcess realises that law with the same
+/// key-addressed design as every other rfade stream — any gain value is
+/// a pure function of (seed, absolute instant):
+///
+///   * the unit-variance dB field is synthesised on a coarse grid (one
+///     node per `spacing` samples) as a truncated-FIR moving average of a
+///     *seekable* white bulk-Philox tape: node t is sum_k h[k] w[t+K-1-k]
+///     with h[k] = c a^k, a = e^{-spacing / D}, and c chosen for exactly
+///     unit variance — the ACF on the grid is a^{|d|} up to the
+///     truncation tolerance, i.e. Gudmundson's law sampled at the node
+///     rate.  Because the tape is indexed by absolute node position
+///     (random::fill_complex_gaussians_planar with a sample offset),
+///     blocks of gains regenerate independently, in any order, on any
+///     thread — shadowing composes with every BranchSource backend and
+///     with seek();
+///   * cross-branch correlation runs through the process's own small
+///     coloring plan: the branch correlation matrix R_s is PSD-forced and
+///     factored by core::ColoringPlan (the paper's steps 3-5 applied to
+///     the shadowing field), and the per-branch white tapes are mixed
+///     with the resulting L_s, so E[S_j S_k] = sigma_dB^2 Re(L_s L_s^H)_jk;
+///   * within a coarse interval the *amplitude* gain 10^{S/20} is
+///     linearly interpolated between the neighbouring nodes — continuous
+///     envelopes at a per-sample cost of one lerp per branch.  Shadowing
+///     varies over hundreds-to-thousands of samples, so adjacent nodes
+///     are nearly equal and the interpolated marginal is lognormal to
+///     well below Monte-Carlo resolution (use spacing = 1 for the exact
+///     law at every sample).
+///
+/// ShadowingDesign is the immutable build-once half (validation, FIR
+/// taps, branch coloring); ShadowingProcess binds a design to a seed and
+/// is the cheap per-realisation object handed to GainSource::dynamic.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "rfade/core/gain_source.hpp"
+#include "rfade/core/plan.hpp"
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/stats/distributions.hpp"
+
+namespace rfade::scenario::composite {
+
+/// Parameters of a correlated-lognormal shadowing field (see file
+/// comment for the model).
+struct ShadowingSpec {
+  /// dB-domain standard deviation sigma_dB; typical urban values are
+  /// 3-10 dB.  \pre 0 < sigma_db <= 20.
+  double sigma_db = 4.0;
+  /// dB-domain mean (median gain in dB); 0 keeps the composite power
+  /// centred on the diffuse power.  \pre |mean_db| <= 40.
+  double mean_db = 0.0;
+  /// Gudmundson decorrelation distance D in samples: ACF e^{-|d| / D}.
+  /// \pre finite, >= 1.
+  double decorrelation_samples = 2048.0;
+  /// Coarse-grid spacing in samples (one synthesised dB node per
+  /// `spacing` samples, amplitude-lerped in between).  \pre >= 1;
+  /// spacing = 1 synthesises every sample exactly.
+  std::size_t spacing = 64;
+  /// Cross-branch correlation of the dB fields (N x N, symmetric, unit
+  /// diagonal, entries in [-1, 1]).  Empty = independent branches.  Not
+  /// necessarily PD — the coloring plan PSD-forces it exactly like the
+  /// paper forces K.
+  numeric::RMatrix branch_correlation;
+  /// FIR truncation tolerance: taps stop once a^K <= tolerance, so the
+  /// realised ACF is a^{|d|} (1 - a^{2(K-d)}) / (1 - a^{2K}).
+  /// \pre in (0, 0.1].
+  double truncation_tolerance = 1e-6;
+};
+
+/// Immutable build-once description of a shadowing field: validated
+/// spec, FIR taps, and the branch coloring plan.  One design serves any
+/// number of keyed ShadowingProcess realisations.
+class ShadowingDesign {
+ public:
+  /// \param dimension number of branches N >= 1.  When the spec carries
+  ///        a branch correlation its size must be N x N.
+  ShadowingDesign(std::size_t dimension, ShadowingSpec spec);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] const ShadowingSpec& spec() const noexcept { return spec_; }
+
+  /// Per-node AR coefficient a = e^{-spacing / D} of the coarse grid.
+  [[nodiscard]] double coarse_alpha() const noexcept { return alpha_; }
+
+  /// FIR length K (a^K <= truncation tolerance, capped at 1 << 15).
+  [[nodiscard]] std::size_t taps() const noexcept { return taps_.size(); }
+
+  /// Realised cross-branch dB correlation Re(L_s L_s^H) after PSD
+  /// forcing (identity when the spec has no branch correlation).
+  [[nodiscard]] const numeric::RMatrix& effective_branch_correlation()
+      const noexcept {
+    return effective_correlation_;
+  }
+
+  /// Effective dB standard deviation of branch \p j:
+  /// sigma_dB sqrt(R_bar_jj) (differs from spec().sigma_db only when PSD
+  /// forcing moved the diagonal).
+  [[nodiscard]] double effective_sigma_db(std::size_t j) const;
+
+  /// Exact lognormal marginal of branch \p j's amplitude gain.
+  [[nodiscard]] stats::LognormalDistribution gain_marginal(
+      std::size_t j) const;
+
+  /// The normalised FIR taps h[k] = c a^k (sum of squares 1).
+  [[nodiscard]] const numeric::RVector& taps_vector() const noexcept {
+    return taps_;
+  }
+
+  /// True when branches are mixed by a non-identity L_s.
+  [[nodiscard]] bool has_mixing() const noexcept {
+    return mixing_.size() > 0;
+  }
+
+  /// The branch mixing matrix L_s (empty when has_mixing() is false).
+  [[nodiscard]] const numeric::CMatrix& mixing_matrix() const noexcept {
+    return mixing_;
+  }
+
+ private:
+  std::size_t dim_;
+  ShadowingSpec spec_;
+  double alpha_;
+  /// h[k] = c a^k with sum h^2 == 1.
+  numeric::RVector taps_;
+  /// Branch mixing matrix L_s (empty = identity / independent branches).
+  numeric::CMatrix mixing_;
+  numeric::RMatrix effective_correlation_;
+};
+
+/// One keyed realisation of a shadowing field: the TimeVaryingGain
+/// handed to GainSource::dynamic / FadingStreamOptions::gain.  Gains are
+/// pure functions of (seed, absolute instant) — seekable, order-free,
+/// thread-free.
+class ShadowingProcess final : public core::TimeVaryingGain {
+ public:
+  ShadowingProcess(std::shared_ptr<const ShadowingDesign> design,
+                   std::uint64_t seed);
+
+  /// Convenience: build a fresh design (validates \p spec) and bind it.
+  ShadowingProcess(std::size_t dimension, ShadowingSpec spec,
+                   std::uint64_t seed);
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return design_->dimension();
+  }
+
+  void gains_for_rows(std::uint64_t first_instant, std::size_t rows,
+                      std::span<double> out) const override;
+
+  [[nodiscard]] const std::shared_ptr<const ShadowingDesign>& design()
+      const noexcept {
+    return design_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// dB field at coarse node \p node (mean_db + sigma_db S_j), one entry
+  /// per branch — the quantity Gudmundson's ACF is stated for; exposed
+  /// for statistical tests.
+  [[nodiscard]] numeric::RVector node_db(std::uint64_t node) const;
+
+ private:
+  /// Amplitude gains at coarse nodes [first_node, first_node + count):
+  /// out is count x N row-major.
+  void node_gains(std::uint64_t first_node, std::size_t count,
+                  double* out) const;
+
+  std::shared_ptr<const ShadowingDesign> design_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rfade::scenario::composite

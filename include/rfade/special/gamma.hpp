@@ -21,4 +21,11 @@ namespace rfade::special {
 /// Pr[X > x] for X ~ chi^2(dof).
 [[nodiscard]] double chi_square_survival(double x, double dof);
 
+/// Inverse of the regularized lower incomplete gamma: the x with
+/// P(a, x) = p, by a Wilson-Hilferty / small-a initial guess refined with
+/// safeguarded Newton steps (the quantile kernel of the Nakagami-m
+/// marginal and of the gamma-family copula transforms).
+/// \pre a > 0, p in [0, 1).
+[[nodiscard]] double inverse_regularized_gamma_p(double a, double p);
+
 }  // namespace rfade::special

@@ -10,9 +10,12 @@
 ///
 /// The scenario-layer marginals live here too: Rician (LOS),
 /// double-Rayleigh (the closed-form Bessel-K law of cascaded channels
-/// after Ibdah & Ding) and TWDP (two specular waves plus diffuse, after
-/// Maric & Njemcevic, arXiv:2502.03388) — each exposing the exact
-/// mean/variance and a CDF usable by the KS validators.
+/// after Ibdah & Ding), TWDP (two specular waves plus diffuse, after
+/// Maric & Njemcevic, arXiv:2502.03388), and the composite-fading family
+/// — lognormal shadowing gain, Suzuki (lognormal-over-Rayleigh, after
+/// Suzuki 1977), Nakagami-m and Weibull — each exposing the exact (or
+/// quadrature-exact) mean/variance and a CDF usable by the KS
+/// validators.
 
 #include <vector>
 
@@ -173,8 +176,148 @@ class TwdpDistribution {
   std::vector<double> cumulative_;
 };
 
+/// Lognormal distribution of a positive amplitude gain A = 10^{S/20}
+/// with S ~ N(mu_dB, sigma_dB^2) — the large-scale shadowing law
+/// (Suzuki 1977; the Gudmundson 1991 model correlates S over
+/// time/space).  Internally the natural-log parameterisation
+/// ln A ~ N(mu_ln, sigma_ln^2) with mu_ln = mu_dB ln(10)/20 and
+/// sigma_ln = sigma_dB ln(10)/20; moments and the CDF/quantile are
+/// closed-form in erf / the normal quantile.
+class LognormalDistribution {
+ public:
+  /// ln(10)/20: dB-of-amplitude to natural log.  The single definition
+  /// of the conversion every dB-parameterised consumer (from_db, the
+  /// shadowing gain synthesis) must share, so "marginal of the
+  /// generated gains" stays bit-exact.
+  static constexpr double kDbToNaturalLog = 0.11512925464970229;
+
+  /// Natural-log parameterisation.  \pre sigma_ln > 0, mu_ln finite.
+  LognormalDistribution(double mu_ln, double sigma_ln);
+
+  /// dB parameterisation of an amplitude gain (see class comment).
+  [[nodiscard]] static LognormalDistribution from_db(double mean_db,
+                                                     double sigma_db);
+
+  [[nodiscard]] double mu_ln() const noexcept { return mu_; }
+  [[nodiscard]] double sigma_ln() const noexcept { return sigma_; }
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  /// Inverse CDF; \pre p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;           ///< exp(mu + sigma^2/2)
+  [[nodiscard]] double second_moment() const;  ///< exp(2 mu + 2 sigma^2)
+  [[nodiscard]] double variance() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Nakagami-m distribution of an envelope with shape m >= 1/2 and spread
+/// Omega = E[r^2] > 0:
+///
+///   pdf(r) = 2 m^m r^{2m-1} e^{-m r^2 / Omega} / (Gamma(m) Omega^m),
+///   cdf(r) = P(m, m r^2 / Omega)   (regularized incomplete gamma).
+///
+/// m = 1 is exactly Rayleigh with sigma_g^2 = Omega; m = 1/2 the
+/// one-sided Gaussian; m > 1 shallower-than-Rayleigh fading.  This is
+/// the target marginal of the copula transform
+/// (scenario/composite/copula.hpp).
+class NakagamiDistribution {
+ public:
+  /// \pre m >= 0.5, omega > 0.
+  NakagamiDistribution(double m, double omega);
+
+  [[nodiscard]] double m() const noexcept { return m_; }
+  [[nodiscard]] double omega() const noexcept { return omega_; }
+
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  /// Inverse CDF sqrt(Omega/m * invP(m, p)); \pre p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  /// Gamma(m + 1/2) / Gamma(m) sqrt(Omega / m).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double second_moment() const;  ///< Omega
+  [[nodiscard]] double variance() const;       ///< Omega - mean^2
+
+ private:
+  double m_;
+  double omega_;
+};
+
+/// Weibull distribution with shape k > 0 and scale lambda > 0:
+/// cdf(r) = 1 - e^{-(r/lambda)^k}.  k = 2 is exactly Rayleigh with
+/// sigma = lambda / sqrt(2); the quantile lambda (-ln(1-p))^{1/k} is
+/// closed-form, which makes Weibull the cheapest copula target marginal.
+class WeibullDistribution {
+ public:
+  /// \pre shape > 0, scale > 0.
+  WeibullDistribution(double shape, double scale);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  /// Inverse CDF; \pre p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;           ///< lambda Gamma(1 + 1/k)
+  [[nodiscard]] double second_moment() const;  ///< lambda^2 Gamma(1 + 2/k)
+  [[nodiscard]] double variance() const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Suzuki distribution of a composite envelope r = A R: a Rayleigh
+/// envelope R (per-dimension scale sigma) whose local mean is modulated
+/// by an independent lognormal amplitude gain A (Suzuki 1977).  Moments
+/// factor exactly through the independent product; the CDF is the
+/// lognormal mixture of Rayleigh CDFs
+///
+///   cdf(r) = E_A[ 1 - e^{-r^2 / (2 sigma^2 A^2)} ],
+///
+/// evaluated by spectrally-convergent Gauss-type quadrature over the
+/// Gaussian dB variable — the exact marginal of SuzukiGenerator
+/// (scenario/composite/suzuki.hpp) branches.
+class SuzukiDistribution {
+ public:
+  /// \pre sigma > 0; shadowing's sigma_ln > 0.
+  SuzukiDistribution(double sigma, LognormalDistribution shadowing);
+
+  /// Construct from the diffuse complex-Gaussian power sigma_g^2 (the
+  /// effective covariance diagonal) and the dB shadowing parameters.
+  [[nodiscard]] static SuzukiDistribution from_gaussian_power(
+      double sigma_g_squared, double mean_db, double sigma_db);
+
+  [[nodiscard]] double sigma() const noexcept { return rayleigh_sigma_; }
+  [[nodiscard]] const LognormalDistribution& shadowing() const noexcept {
+    return shadowing_;
+  }
+
+  [[nodiscard]] double pdf(double r) const;
+  [[nodiscard]] double cdf(double r) const;
+  [[nodiscard]] double mean() const;           ///< E[A] sigma sqrt(pi/2)
+  [[nodiscard]] double second_moment() const;  ///< E[A^2] 2 sigma^2
+  [[nodiscard]] double variance() const;
+
+ private:
+  double rayleigh_sigma_;
+  LognormalDistribution shadowing_;
+  /// Quadrature nodes (values of A) and weights (normalised to sum 1)
+  /// for the lognormal mixture, precomputed at construction.
+  std::vector<double> mixture_gains_;
+  std::vector<double> mixture_weights_;
+};
+
 /// Standard normal CDF.
 [[nodiscard]] double normal_cdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p) (Acklam's rational approximation
+/// refined by one Halley step on erfc); \pre p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
 
 /// Normal CDF with mean/stddev.
 [[nodiscard]] double normal_cdf(double x, double mean, double stddev);

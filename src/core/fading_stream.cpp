@@ -15,6 +15,7 @@ namespace {
 PipelineOptions stream_pipeline_options(const FadingStreamOptions& options) {
   PipelineOptions pipeline;
   pipeline.mean_offset = options.los_mean;
+  pipeline.gain = options.gain;
   return pipeline;
 }
 
@@ -86,10 +87,10 @@ numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
   const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
   numeric::CMatrix w(m, n);
   for (std::size_t j = 0; j < n; ++j) {
-    const numeric::CVector& u = outputs[j];
-    for (std::size_t l = 0; l < m; ++l) {
-      w(l, j) = u[l] * inv_sigma;
-    }
+    // w(l, j) = u[l] / sigma_g as one vectorized strided pass
+    // (bit-identical to the scalar transpose loop).
+    numeric::scale_into_strided(outputs[j].data(), m, inv_sigma,
+                                w.data() + j, n);
   }
   return pipeline_.color_block(w, 1.0, first_instant);
 }

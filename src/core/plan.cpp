@@ -51,12 +51,20 @@ SamplePipeline::SamplePipeline(std::shared_ptr<const ColoringPlan> plan,
                     options_.mean_offset.dimension() == plan_->dimension(),
                 "SamplePipeline: mean offset dimension must equal the plan "
                 "dimension N");
+  RFADE_EXPECTS(options_.gain.dimension() == 0 ||
+                    options_.gain.dimension() == plan_->dimension(),
+                "SamplePipeline: gain dimension must equal the plan "
+                "dimension N");
   inv_sigma_w_ = 1.0 / std::sqrt(options_.sample_variance);
   // A zero MeanSource (empty or all-zero constant) is the zero-mean
   // (Rayleigh) pipeline: skip the add pass entirely so a K = 0 scenario
   // stays bit-identical to the plain path (z + 0.0 could still flip the
   // sign bit of a -0.0 output).
   has_mean_ = !options_.mean_offset.is_zero();
+  // Likewise a unit GainSource (default, explicit, or all-ones constant)
+  // emits no multiply pass — z * 1.0 would preserve bits, but skipping
+  // the pass keeps the gain-free hot loops untouched.
+  has_gain_ = !options_.gain.is_unit();
 }
 
 void SamplePipeline::add_mean_rows(std::uint64_t first_instant,
@@ -67,6 +75,16 @@ void SamplePipeline::add_mean_rows(std::uint64_t first_instant,
   }
   options_.mean_offset.add_to_rows(first_instant, rows, plan_->dimension(),
                                    out);
+}
+
+void SamplePipeline::finish_rows(std::uint64_t first_instant, std::size_t rows,
+                                 numeric::cdouble* out) const {
+  if (has_mean_) {
+    add_mean_rows(first_instant, rows, out);
+  }
+  if (has_gain_) {
+    options_.gain.multiply_rows(first_instant, rows, plan_->dimension(), out);
+  }
 }
 
 void SamplePipeline::sample_into(random::Rng& rng,
@@ -87,9 +105,7 @@ void SamplePipeline::sample_into(random::Rng& rng,
       out[i] += l(i, j) * scaled;
     }
   }
-  if (has_mean_) {
-    add_mean_rows(instant, 1, out.data());
-  }
+  finish_rows(instant, 1, out.data());
 }
 
 numeric::CVector SamplePipeline::sample(random::Rng& rng,
@@ -124,9 +140,7 @@ void SamplePipeline::fill_colored_rows(random::Rng& rng, std::size_t rows,
   numeric::multiply_block_raw(w.data(), rows, n,
                               plan_->coloring_matrix_transposed().data(), n,
                               out);
-  if (has_mean_) {
-    add_mean_rows(first_instant, rows, out);
-  }
+  finish_rows(first_instant, rows, out);
 }
 
 numeric::CMatrix SamplePipeline::sample_block(
@@ -163,9 +177,7 @@ void SamplePipeline::fill_colored_rows_bulk(std::uint64_t seed,
                                  plan_->coloring_transposed_re().data(),
                                  plan_->coloring_transposed_im().data(), n,
                                  out);
-  if (has_mean_) {
-    add_mean_rows(first_instant, rows, out);
-  }
+  finish_rows(first_instant, rows, out);
 }
 
 numeric::CMatrix SamplePipeline::sample_block(std::size_t count,
@@ -233,9 +245,7 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
     numeric::multiply_block_raw(w.data(), w.rows(), n,
                                 plan_->coloring_matrix_transposed().data(), n,
                                 out.data());
-    if (has_mean_) {
-      add_mean_rows(first_instant, w.rows(), out.data());
-    }
+    finish_rows(first_instant, w.rows(), out.data());
     return out;
   }
   // Sec. 5 steps 6-8: divide by the assumed per-branch complex variance,
@@ -250,9 +260,7 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
   numeric::multiply_block_raw(scaled.data(), w.rows(), n,
                               plan_->coloring_matrix_transposed().data(), n,
                               out.data());
-  if (has_mean_) {
-    add_mean_rows(first_instant, w.rows(), out.data());
-  }
+  finish_rows(first_instant, w.rows(), out.data());
   return out;
 }
 

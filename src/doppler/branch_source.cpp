@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "rfade/fft/fft.hpp"
+#include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/random/bulk_gaussian.hpp"
 #include "rfade/random/xoshiro.hpp"
 #include "rfade/support/contracts.hpp"
@@ -84,10 +85,12 @@ class WolaBranchSource final : public SpectrumDrawingSource {
     if (previous_.empty()) {
       std::copy(current.begin(), current.begin() + hop, out.begin());
     } else {
-      for (std::size_t i = 0; i < overlap; ++i) {
-        out[i] = design_.fade_out_[i] * previous_[hop + i] +
-                 design_.fade_in_[i] * current[i];
-      }
+      // out[i] = fade_out[i] * previous[hop+i] + fade_in[i] * current[i],
+      // as one vectorized pass (bit-identical to the scalar loop).
+      numeric::crossfade_block(design_.fade_out_.data(),
+                               design_.fade_in_.data(),
+                               previous_.data() + hop, current.data(), overlap,
+                               out.data());
       std::copy(current.begin() + overlap, current.begin() + hop,
                 out.begin() + overlap);
     }
@@ -128,6 +131,22 @@ class OverlapSaveBranchSource final : public BranchSource {
     ensure_inputs(pending_block_);
     // Circular 2M convolution; entries [M-1, 2M) are wrap-free, i.e. the
     // linear convolution of the kernel with this input span.
+    if (const fft::Pow2Plan* plan = design_.convolution_plan_.get()) {
+      // Planned path: cached twiddles/permutation, in-place on reusable
+      // scratch — bit-identical to the ad-hoc transforms below, minus
+      // the per-call twiddle recomputation and allocations.
+      scratch_ = inputs_;
+      plan->transform(scratch_, fft::Direction::Forward);
+      for (std::size_t k = 0; k < scratch_.size(); ++k) {
+        scratch_[k] *= design_.kernel_spectrum_[k];
+      }
+      plan->transform(scratch_, fft::Direction::Inverse);
+      const double scale = 1.0 / static_cast<double>(2 * m);
+      for (std::size_t i = 0; i < m; ++i) {
+        out[i] = scratch_[m - 1 + i] * scale;
+      }
+      return;
+    }
     numeric::CVector spectrum = fft::dft(inputs_);
     for (std::size_t k = 0; k < spectrum.size(); ++k) {
       spectrum[k] *= design_.kernel_spectrum_[k];
@@ -186,6 +205,7 @@ class OverlapSaveBranchSource final : public BranchSource {
   bool have_inputs_ = false;
   numeric::RVector re_;
   numeric::RVector im_;
+  numeric::CVector scratch_;  ///< planned-transform workspace (2M)
 };
 
 // --- design -----------------------------------------------------------------
@@ -243,6 +263,9 @@ BranchSourceDesign::BranchSourceDesign(StreamBackend backend, std::size_t m,
       kernel_spectrum_ = fft::dft(centered);
       input_stream_variance_ = 2.0 * input_variance_per_dim /
                                static_cast<double>(m);
+      if (fft::is_power_of_two(2 * m)) {
+        convolution_plan_ = std::make_shared<const fft::Pow2Plan>(2 * m);
+      }
       break;
     }
   }

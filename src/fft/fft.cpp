@@ -133,6 +133,99 @@ CVector idft(const CVector& data) {
   return result;
 }
 
+// --- Pow2Plan ----------------------------------------------------------------
+
+namespace {
+
+/// The per-stage twiddle value sequence of fft_pow2_inplace, verbatim:
+/// incremental w *= w_len with a std::polar resynchronisation every 64
+/// steps — precomputing *these* values (not directly-evaluated polars)
+/// is what keeps the planned transform bit-identical to the ad-hoc one.
+void fill_stage_twiddles(std::size_t len, double sign, cdouble* out) {
+  const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+  const cdouble w_len = std::polar(1.0, angle);
+  cdouble w(1.0, 0.0);
+  for (std::size_t k = 0; k < len / 2; ++k) {
+    if ((k & 63u) == 0u && k != 0u) {
+      w = std::polar(1.0, angle * static_cast<double>(k));
+    }
+    out[k] = w;
+    w *= w_len;
+  }
+}
+
+}  // namespace
+
+Pow2Plan::Pow2Plan(std::size_t n) : n_(n) {
+  RFADE_EXPECTS(is_power_of_two(n), "Pow2Plan: size must be 2^k");
+  RFADE_EXPECTS(n <= (std::size_t{1} << 32), "Pow2Plan: size exceeds 2^32");
+  // Bit-reversal permutation as an explicit swap list (i < j only).
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) {
+      swaps_.push_back(static_cast<std::uint32_t>(i));
+      swaps_.push_back(static_cast<std::uint32_t>(j));
+    }
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+  if (n > 1) {
+    forward_twiddles_.resize(n - 1);
+    inverse_twiddles_.resize(n - 1);
+    std::size_t offset = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      fill_stage_twiddles(len, -1.0, forward_twiddles_.data() + offset);
+      fill_stage_twiddles(len, 1.0, inverse_twiddles_.data() + offset);
+      offset += len / 2;
+    }
+  }
+}
+
+void Pow2Plan::transform(CVector& data, Direction direction) const {
+  RFADE_EXPECTS(data.size() == n_, "Pow2Plan: data size mismatch");
+  if (n_ == 1) {
+    return;
+  }
+  for (std::size_t s = 0; s + 1 < swaps_.size(); s += 2) {
+    std::swap(data[swaps_[s]], data[swaps_[s + 1]]);
+  }
+  const std::vector<cdouble>& twiddles =
+      direction == Direction::Forward ? forward_twiddles_ : inverse_twiddles_;
+  std::size_t offset = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const cdouble* w = twiddles.data() + offset;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble even = data[start + k];
+        const cdouble odd = data[start + k + len / 2] * w[k];
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+      }
+    }
+    offset += len / 2;
+  }
+}
+
+CVector Pow2Plan::dft(const CVector& data) const {
+  CVector copy = data;
+  transform(copy, Direction::Forward);
+  return copy;
+}
+
+CVector Pow2Plan::idft(const CVector& data) const {
+  CVector copy = data;
+  transform(copy, Direction::Inverse);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (cdouble& value : copy) {
+    value *= scale;
+  }
+  return copy;
+}
+
 CVector naive_dft(const CVector& data, Direction direction) {
   const std::size_t n = data.size();
   const double sign = direction == Direction::Forward ? -1.0 : 1.0;

@@ -219,6 +219,52 @@ void multiply_block_planar(const double* a_re, const double* a_im,
   }
 }
 
+namespace {
+
+/// Crossfade kernel on the raw interleaved re/im doubles (std::complex
+/// is array-layout-compatible), multiversioned like planar_gemm_tile; no
+/// FMA, so every clone keeps the scalar bit pattern w0*p + w1*c.
+RFADE_TARGET_CLONES_AVX2
+void crossfade_kernel(const double* __restrict w0,
+                      const double* __restrict w1,
+                      const double* __restrict prev,
+                      const double* __restrict cur, std::size_t count,
+                      double* __restrict out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a = w0[i];
+    const double b = w1[i];
+    out[2 * i] = a * prev[2 * i] + b * cur[2 * i];
+    out[2 * i + 1] = a * prev[2 * i + 1] + b * cur[2 * i + 1];
+  }
+}
+
+RFADE_TARGET_CLONES_AVX2
+void scale_strided_kernel(const double* __restrict u, std::size_t count,
+                          double scale, double* __restrict out,
+                          std::size_t stride) {
+  for (std::size_t l = 0; l < count; ++l) {
+    out[l * stride] = u[2 * l] * scale;
+    out[l * stride + 1] = u[2 * l + 1] * scale;
+  }
+}
+
+}  // namespace
+
+void crossfade_block(const double* fade_out, const double* fade_in,
+                     const cdouble* previous, const cdouble* current,
+                     std::size_t count, cdouble* out) {
+  crossfade_kernel(fade_out, fade_in,
+                   reinterpret_cast<const double*>(previous),
+                   reinterpret_cast<const double*>(current), count,
+                   reinterpret_cast<double*>(out));
+}
+
+void scale_into_strided(const cdouble* u, std::size_t count, double scale,
+                        cdouble* out, std::size_t stride) {
+  scale_strided_kernel(reinterpret_cast<const double*>(u), count, scale,
+                       reinterpret_cast<double*>(out), 2 * stride);
+}
+
 CMatrix add(const CMatrix& a, const CMatrix& b) {
   RFADE_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
                 "add: shape mismatch");

@@ -1,0 +1,329 @@
+#include "rfade/scenario/composite/copula.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/stats/distributions.hpp"
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::scenario::composite {
+
+namespace {
+
+/// Largest x the copula variable is evaluated at: beyond it
+/// u = 1 - e^{-x} is 1 to double round-off (probability < 1e-16), so the
+/// quantile argument is clamped to the largest double below 1.
+constexpr double kMaxExponential = 45.0;
+
+double clamped_uniform(double x) {
+  const double u = -std::expm1(-x);
+  return u < 1.0 ? u : std::nextafter(1.0, 0.0);
+}
+
+/// Laguerre coefficients c_k = int_0^inf g(x) L_k(x) e^{-x} dx of the
+/// standardized transform g(x) = F^{-1}(1 - e^{-x}), by composite
+/// Simpson in t = sqrt(x) (the substitution softens the x^{1/(2m)}
+/// behaviour of Nakagami quantiles at the origin).
+std::vector<double> laguerre_coefficients(const CopulaMarginal& marginal,
+                                          std::size_t terms,
+                                          std::size_t panels) {
+  const double t_max = std::sqrt(kMaxExponential);
+  const double h = t_max / static_cast<double>(panels);
+  std::vector<double> c(terms, 0.0);
+  for (std::size_t i = 0; i <= panels; ++i) {
+    const double t = static_cast<double>(i) * h;
+    const double x = t * t;
+    // Simpson weights 1, 4, 2, ..., 4, 1 (panels is forced even).
+    const double w =
+        (i == 0 || i == panels) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    const double g = marginal.quantile(clamped_uniform(x));
+    const double factor = w * g * std::exp(-x) * 2.0 * t;
+    // L_0 = 1, L_1 = 1 - x, k L_k = (2k-1-x) L_{k-1} - (k-1) L_{k-2}.
+    double l_prev = 1.0;
+    double l_curr = 1.0 - x;
+    c[0] += factor;
+    if (terms > 1) {
+      c[1] += factor * l_curr;
+    }
+    for (std::size_t k = 2; k < terms; ++k) {
+      const double kk = static_cast<double>(k);
+      const double l_next =
+          ((2.0 * kk - 1.0 - x) * l_curr - (kk - 1.0) * l_prev) / kk;
+      l_prev = l_curr;
+      l_curr = l_next;
+      c[k] += factor * l_next;
+    }
+  }
+  for (double& v : c) {
+    v *= h / 3.0;
+  }
+  return c;
+}
+
+/// Downton-expansion envelope correlation for power correlation lambda.
+double rho_from_lambda(double lambda, const std::vector<double>& ci,
+                       const std::vector<double>& cj, double var_i,
+                       double var_j) {
+  // Horner in lambda over k = K-1 .. 1: sum_{k>=1} lambda^k c_k c_k'.
+  double sum = 0.0;
+  for (std::size_t k = ci.size(); k-- > 1;) {
+    sum = ci[k] * cj[k] + lambda * sum;
+  }
+  sum *= lambda;
+  return sum / std::sqrt(var_i * var_j);
+}
+
+core::PipelineOptions copula_pipeline_options(const CopulaOptions& options) {
+  core::PipelineOptions pipeline;
+  pipeline.block_size = options.block_size;
+  pipeline.parallel = options.parallel;
+  return pipeline;
+}
+
+}  // namespace
+
+// --- CopulaMarginal ----------------------------------------------------------
+
+CopulaMarginal CopulaMarginal::nakagami(double m, double omega) {
+  const stats::NakagamiDistribution dist(m, omega);
+  CopulaMarginal marginal;
+  marginal.family_ = "nakagami";
+  marginal.mean_ = dist.mean();
+  marginal.variance_ = dist.variance();
+  marginal.quantile_ = [dist](double p) { return dist.quantile(p); };
+  marginal.cdf_ = [dist](double r) { return dist.cdf(r); };
+  return marginal;
+}
+
+CopulaMarginal CopulaMarginal::weibull(double shape, double scale) {
+  const stats::WeibullDistribution dist(shape, scale);
+  CopulaMarginal marginal;
+  marginal.family_ = "weibull";
+  marginal.mean_ = dist.mean();
+  marginal.variance_ = dist.variance();
+  marginal.quantile_ = [dist](double p) { return dist.quantile(p); };
+  marginal.cdf_ = [dist](double r) { return dist.cdf(r); };
+  return marginal;
+}
+
+CopulaMarginal CopulaMarginal::rayleigh(double sigma_g_squared) {
+  const auto dist =
+      stats::RayleighDistribution::from_gaussian_power(sigma_g_squared);
+  CopulaMarginal marginal;
+  marginal.family_ = "rayleigh";
+  marginal.mean_ = dist.mean();
+  marginal.variance_ = dist.variance();
+  marginal.quantile_ = [dist](double p) { return dist.quantile(p); };
+  marginal.cdf_ = [dist](double r) { return dist.cdf(r); };
+  return marginal;
+}
+
+// --- CopulaMarginalTransform -------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<double>> build_laguerre(
+    const std::vector<CopulaMarginal>& marginals,
+    const CopulaOptions& options) {
+  RFADE_EXPECTS(!marginals.empty(),
+                "CopulaMarginalTransform: at least one marginal required");
+  RFADE_EXPECTS(options.laguerre_terms >= 8,
+                "CopulaMarginalTransform: laguerre_terms must be >= 8");
+  RFADE_EXPECTS(options.quadrature_panels >= 64 &&
+                    options.quadrature_panels % 2 == 0,
+                "CopulaMarginalTransform: quadrature_panels must be even "
+                "and >= 64");
+  std::vector<std::vector<double>> tables;
+  tables.reserve(marginals.size());
+  for (const CopulaMarginal& marginal : marginals) {
+    RFADE_EXPECTS(marginal.mean() > 0.0 && marginal.variance() > 0.0,
+                  "CopulaMarginalTransform: marginal moments must be "
+                  "positive");
+    tables.push_back(laguerre_coefficients(marginal, options.laguerre_terms,
+                                           options.quadrature_panels));
+  }
+  return tables;
+}
+
+numeric::RMatrix build_lambda(const numeric::RMatrix& target,
+                              const std::vector<CopulaMarginal>& marginals,
+                              const std::vector<std::vector<double>>& tables) {
+  const std::size_t n = marginals.size();
+  RFADE_EXPECTS(target.rows() == n && target.cols() == n,
+                "CopulaMarginalTransform: envelope correlation must be "
+                "N x N");
+  for (std::size_t i = 0; i < n; ++i) {
+    RFADE_EXPECTS(std::abs(target(i, i) - 1.0) <= 1e-9,
+                  "CopulaMarginalTransform: target diagonal must be 1");
+    for (std::size_t j = 0; j < n; ++j) {
+      RFADE_EXPECTS(std::isfinite(target(i, j)),
+                    "CopulaMarginalTransform: target entries must be finite");
+      RFADE_EXPECTS(std::abs(target(i, j) - target(j, i)) <= 1e-9,
+                    "CopulaMarginalTransform: target must be symmetric");
+      if (i != j) {
+        RFADE_EXPECTS(target(i, j) >= 0.0 && target(i, j) < 1.0,
+                      "CopulaMarginalTransform: off-diagonal targets must "
+                      "be in [0, 1) (the Gaussian copula cannot realise "
+                      "negative or unit envelope correlation)");
+      }
+    }
+  }
+  numeric::RMatrix lambda(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda(i, i) = 1.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double t = target(i, j);
+      if (t == 0.0) {
+        continue;
+      }
+      const double var_i = marginals[i].variance();
+      const double var_j = marginals[j].variance();
+      const double rho_max =
+          rho_from_lambda(1.0, tables[i], tables[j], var_i, var_j);
+      RFADE_EXPECTS(t < rho_max,
+                    "CopulaMarginalTransform: target envelope correlation "
+                    "exceeds the maximum reachable for this marginal pair");
+      // Bisection on the strictly increasing Downton map.
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (rho_from_lambda(mid, tables[i], tables[j], var_i, var_j) < t) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      lambda(i, j) = lambda(j, i) = 0.5 * (lo + hi);
+    }
+  }
+  return lambda;
+}
+
+numeric::CMatrix build_core_covariance(const numeric::RMatrix& lambda) {
+  const std::size_t n = lambda.rows();
+  numeric::CMatrix k(n, n, numeric::cdouble{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      k(i, j) = numeric::cdouble(
+          i == j ? 1.0 : std::sqrt(lambda(i, j)), 0.0);
+    }
+  }
+  return k;
+}
+
+numeric::RVector effective_powers(const core::SamplePipeline& pipeline) {
+  const numeric::CMatrix& k = pipeline.plan().effective_covariance();
+  numeric::RVector powers(k.rows());
+  for (std::size_t j = 0; j < k.rows(); ++j) {
+    powers[j] = k(j, j).real();
+  }
+  return powers;
+}
+
+}  // namespace
+
+CopulaMarginalTransform::CopulaMarginalTransform(
+    numeric::RMatrix envelope_correlation,
+    std::vector<CopulaMarginal> marginals, CopulaOptions options)
+    : target_(std::move(envelope_correlation)),
+      marginals_(std::move(marginals)),
+      options_(options),
+      laguerre_(build_laguerre(marginals_, options_)),
+      lambda_(build_lambda(target_, marginals_, laguerre_)),
+      core_covariance_(build_core_covariance(lambda_)),
+      pipeline_(core::ColoringPlan::create(core_covariance_, options_.coloring),
+                copula_pipeline_options(options_)),
+      core_power_(effective_powers(pipeline_)) {}
+
+const CopulaMarginal& CopulaMarginalTransform::marginal(std::size_t j) const {
+  RFADE_EXPECTS(j < marginals_.size(),
+                "CopulaMarginalTransform: branch index out of range");
+  return marginals_[j];
+}
+
+double CopulaMarginalTransform::predistorted_power_correlation(
+    std::size_t i, std::size_t j) const {
+  RFADE_EXPECTS(i < dimension() && j < dimension(),
+                "CopulaMarginalTransform: branch index out of range");
+  return lambda_(i, j);
+}
+
+double CopulaMarginalTransform::pair_envelope_correlation(
+    std::size_t i, std::size_t j, double gaussian_power_correlation) const {
+  RFADE_EXPECTS(i < dimension() && j < dimension(),
+                "CopulaMarginalTransform: branch index out of range");
+  RFADE_EXPECTS(gaussian_power_correlation >= 0.0 &&
+                    gaussian_power_correlation <= 1.0,
+                "CopulaMarginalTransform: power correlation must be in "
+                "[0, 1]");
+  return rho_from_lambda(gaussian_power_correlation, laguerre_[i],
+                         laguerre_[j], marginals_[i].variance(),
+                         marginals_[j].variance());
+}
+
+numeric::RMatrix CopulaMarginalTransform::predicted_envelope_correlation()
+    const {
+  const std::size_t n = dimension();
+  const numeric::CMatrix& k = pipeline_.plan().effective_covariance();
+  numeric::RMatrix rho(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    rho(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double lambda =
+          std::norm(k(i, j)) / (k(i, i).real() * k(j, j).real());
+      rho(i, j) = rho(j, i) = pair_envelope_correlation(i, j, lambda);
+    }
+  }
+  return rho;
+}
+
+void CopulaMarginalTransform::transform_block(const numeric::CMatrix& core,
+                                              numeric::RMatrix& out) const {
+  const std::size_t n = dimension();
+  out = numeric::RMatrix(core.rows(), n);
+  for (std::size_t t = 0; t < core.rows(); ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double x = std::norm(core(t, j)) / core_power_[j];
+      out(t, j) = marginals_[j].quantile(clamped_uniform(x));
+    }
+  }
+}
+
+numeric::RMatrix CopulaMarginalTransform::sample_envelope_block(
+    std::size_t count, std::uint64_t seed, std::uint64_t block_index) const {
+  numeric::RMatrix out;
+  transform_block(pipeline_.sample_block(count, seed, block_index), out);
+  return out;
+}
+
+numeric::RMatrix CopulaMarginalTransform::sample_envelope_stream(
+    std::size_t count, std::uint64_t seed) const {
+  numeric::RMatrix out;
+  transform_block(pipeline_.sample_stream(count, seed), out);
+  return out;
+}
+
+std::vector<core::EnvelopeMarginal> CopulaMarginalTransform::marginals()
+    const {
+  return core::make_marginals(
+      dimension(), [this](std::size_t j) { return marginals_[j]; });
+}
+
+core::EnvelopeValidationReport validate_copula(
+    const CopulaMarginalTransform& transform,
+    const core::ValidationOptions& options) {
+  const std::vector<core::EnvelopeMarginal> marginals = transform.marginals();
+  return core::validate_envelope_source(
+      transform.dimension(),
+      [&transform](std::size_t count, std::uint64_t seed,
+                   std::uint64_t block_index) {
+        return transform.sample_envelope_block(count, seed, block_index);
+      },
+      marginals, options);
+}
+
+}  // namespace rfade::scenario::composite

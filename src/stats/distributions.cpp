@@ -6,6 +6,7 @@
 
 #include "rfade/special/bessel_i.hpp"
 #include "rfade/special/bessel_k.hpp"
+#include "rfade/special/gamma.hpp"
 #include "rfade/support/contracts.hpp"
 
 namespace rfade::stats {
@@ -340,7 +341,269 @@ double TwdpDistribution::variance() const {
   return second_moment() - m * m;
 }
 
+// --- LognormalDistribution ---------------------------------------------------
+
+LognormalDistribution::LognormalDistribution(double mu_ln, double sigma_ln)
+    : mu_(mu_ln), sigma_(sigma_ln) {
+  RFADE_EXPECTS(std::isfinite(mu_ln), "LognormalDistribution: mu must be "
+                                      "finite");
+  RFADE_EXPECTS(std::isfinite(sigma_ln) && sigma_ln > 0.0,
+                "LognormalDistribution: sigma must be positive");
+}
+
+LognormalDistribution LognormalDistribution::from_db(double mean_db,
+                                                     double sigma_db) {
+  return LognormalDistribution(mean_db * kDbToNaturalLog,
+                               sigma_db * kDbToNaturalLog);
+}
+
+double LognormalDistribution::pdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (x * sigma_ * std::sqrt(2.0 * kPi));
+}
+
+double LognormalDistribution::cdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LognormalDistribution::quantile(double p) const {
+  RFADE_EXPECTS(p >= 0.0 && p < 1.0,
+                "LognormalDistribution: p must be in [0, 1)");
+  if (p == 0.0) {
+    return 0.0;
+  }
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LognormalDistribution::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LognormalDistribution::second_moment() const {
+  return std::exp(2.0 * mu_ + 2.0 * sigma_ * sigma_);
+}
+
+double LognormalDistribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
+// --- NakagamiDistribution ----------------------------------------------------
+
+NakagamiDistribution::NakagamiDistribution(double m, double omega)
+    : m_(m), omega_(omega) {
+  RFADE_EXPECTS(std::isfinite(m) && m >= 0.5,
+                "NakagamiDistribution: shape m must be >= 1/2");
+  RFADE_EXPECTS(std::isfinite(omega) && omega > 0.0,
+                "NakagamiDistribution: Omega must be positive");
+}
+
+double NakagamiDistribution::pdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  const double log_pdf = std::log(2.0) + m_ * std::log(m_ / omega_) +
+                         (2.0 * m_ - 1.0) * std::log(r) -
+                         m_ * r * r / omega_ - std::lgamma(m_);
+  return std::exp(log_pdf);
+}
+
+double NakagamiDistribution::cdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  return special::regularized_gamma_p(m_, m_ * r * r / omega_);
+}
+
+double NakagamiDistribution::quantile(double p) const {
+  RFADE_EXPECTS(p >= 0.0 && p < 1.0,
+                "NakagamiDistribution: p must be in [0, 1)");
+  return std::sqrt(omega_ / m_ * special::inverse_regularized_gamma_p(m_, p));
+}
+
+double NakagamiDistribution::mean() const {
+  return std::exp(std::lgamma(m_ + 0.5) - std::lgamma(m_)) *
+         std::sqrt(omega_ / m_);
+}
+
+double NakagamiDistribution::second_moment() const { return omega_; }
+
+double NakagamiDistribution::variance() const {
+  const double m = mean();
+  return omega_ - m * m;
+}
+
+// --- WeibullDistribution -----------------------------------------------------
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  RFADE_EXPECTS(std::isfinite(shape) && shape > 0.0,
+                "WeibullDistribution: shape must be positive");
+  RFADE_EXPECTS(std::isfinite(scale) && scale > 0.0,
+                "WeibullDistribution: scale must be positive");
+}
+
+double WeibullDistribution::pdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  const double t = std::pow(r / scale_, shape_);
+  return shape_ / r * t * std::exp(-t);
+}
+
+double WeibullDistribution::cdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  return -std::expm1(-std::pow(r / scale_, shape_));
+}
+
+double WeibullDistribution::quantile(double p) const {
+  RFADE_EXPECTS(p >= 0.0 && p < 1.0,
+                "WeibullDistribution: p must be in [0, 1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double WeibullDistribution::mean() const {
+  return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+}
+
+double WeibullDistribution::second_moment() const {
+  return scale_ * scale_ * std::exp(std::lgamma(1.0 + 2.0 / shape_));
+}
+
+double WeibullDistribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
+// --- SuzukiDistribution ------------------------------------------------------
+
+SuzukiDistribution::SuzukiDistribution(double sigma,
+                                       LognormalDistribution shadowing)
+    : rayleigh_sigma_(sigma), shadowing_(shadowing) {
+  RFADE_EXPECTS(std::isfinite(sigma) && sigma > 0.0,
+                "SuzukiDistribution: sigma must be positive");
+  // Trapezoid-in-s quadrature of the lognormal mixture: for
+  // Gaussian-weighted smooth integrands the trapezoid rule converges
+  // like exp(-c / h^2), so step 1/4 over s in [-8, 8] is far below
+  // double round-off while keeping cdf() at 65 exponentials per call.
+  constexpr double kHalfWidth = 8.0;
+  constexpr std::size_t kNodes = 65;
+  const double step = 2.0 * kHalfWidth / static_cast<double>(kNodes - 1);
+  mixture_gains_.resize(kNodes);
+  mixture_weights_.resize(kNodes);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const double s = -kHalfWidth + static_cast<double>(i) * step;
+    const double phi = std::exp(-0.5 * s * s);
+    const double w = (i == 0 || i + 1 == kNodes) ? 0.5 * phi : phi;
+    mixture_gains_[i] = std::exp(shadowing_.mu_ln() +
+                                 shadowing_.sigma_ln() * s);
+    mixture_weights_[i] = w;
+    total += w;
+  }
+  for (double& w : mixture_weights_) {
+    w /= total;  // exact unit mass, so cdf(inf) == 1 to round-off
+  }
+}
+
+SuzukiDistribution SuzukiDistribution::from_gaussian_power(
+    double sigma_g_squared, double mean_db, double sigma_db) {
+  RFADE_EXPECTS(sigma_g_squared > 0.0,
+                "SuzukiDistribution: gaussian power must be positive");
+  return SuzukiDistribution(std::sqrt(0.5 * sigma_g_squared),
+                            LognormalDistribution::from_db(mean_db, sigma_db));
+}
+
+double SuzukiDistribution::pdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  const double two_sigma_sq = 2.0 * rayleigh_sigma_ * rayleigh_sigma_;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mixture_gains_.size(); ++i) {
+    const double a2 = mixture_gains_[i] * mixture_gains_[i];
+    const double x = r * r / (two_sigma_sq * a2);
+    sum += mixture_weights_[i] * 2.0 * r / (two_sigma_sq * a2) * std::exp(-x);
+  }
+  return sum;
+}
+
+double SuzukiDistribution::cdf(double r) const {
+  if (r <= 0.0) {
+    return 0.0;
+  }
+  const double two_sigma_sq = 2.0 * rayleigh_sigma_ * rayleigh_sigma_;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mixture_gains_.size(); ++i) {
+    const double a2 = mixture_gains_[i] * mixture_gains_[i];
+    sum += mixture_weights_[i] * -std::expm1(-r * r / (two_sigma_sq * a2));
+  }
+  return sum;
+}
+
+double SuzukiDistribution::mean() const {
+  return shadowing_.mean() * rayleigh_sigma_ *
+         std::sqrt(kPi / 2.0);
+}
+
+double SuzukiDistribution::second_moment() const {
+  return shadowing_.second_moment() * 2.0 * rayleigh_sigma_ * rayleigh_sigma_;
+}
+
+double SuzukiDistribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  RFADE_EXPECTS(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+  // Acklam's rational approximation (|error| < 1.2e-9 over (0,1)) ...
+  constexpr double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                           -2.759285104469687e+02, 1.383577518672690e+02,
+                           -3.066479806614716e+01, 2.506628277459239e+00};
+  constexpr double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                           -1.556989798598866e+02, 6.680131188771972e+01,
+                           -1.328068155288572e+01};
+  constexpr double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                           -2.400758277161838e+00, -2.549732539343734e+00,
+                           4.374664141464968e+00,  2.938163982698783e+00};
+  constexpr double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                           2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // ... sharpened to full double precision with one Halley step.
+  const double err = normal_cdf(x) - p;
+  const double u = err * std::sqrt(2.0 * kPi) *
+                   std::exp(0.5 * x * x);
+  return x - u / (1.0 + 0.5 * x * u);
+}
 
 double normal_cdf(double x, double mean, double stddev) {
   RFADE_EXPECTS(stddev > 0.0, "normal_cdf: stddev must be positive");

@@ -197,4 +197,47 @@ TEST(Fft, LargeTransformAccuracy) {
   EXPECT_LT(max_diff(fft::idft(fft::dft(x)), x), 1e-11);
 }
 
+TEST(Fft, Pow2PlanBitIdenticalToAdHocTransform) {
+  // The plan caches the exact twiddle value sequence (incremental with
+  // periodic resync) and the bit-reversal permutation, so its output
+  // must match fft_pow2_inplace bit for bit — this is what lets the
+  // overlap-save streaming backend swap the cached plan in without
+  // changing a single output bit.
+  for (std::size_t n : {1u, 2u, 8u, 256u, 2048u, 8192u}) {
+    const fft::Pow2Plan plan(n);
+    EXPECT_EQ(plan.size(), n);
+    const CVector x = random_signal(n, 17 + n);
+    for (const Direction direction :
+         {Direction::Forward, Direction::Inverse}) {
+      CVector ad_hoc = x;
+      fft::fft_pow2_inplace(ad_hoc, direction);
+      CVector planned = x;
+      plan.transform(planned, direction);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(planned[i].real(), ad_hoc[i].real()) << "n=" << n;
+        EXPECT_EQ(planned[i].imag(), ad_hoc[i].imag()) << "n=" << n;
+      }
+    }
+    // The dft/idft wrappers match the free functions bitwise too.
+    const CVector spectrum = plan.dft(x);
+    const CVector reference = fft::dft(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(spectrum[i], reference[i]);
+    }
+    const CVector back = plan.idft(spectrum);
+    const CVector back_reference = fft::idft(spectrum);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(back[i], back_reference[i]);
+    }
+  }
+}
+
+TEST(Fft, Pow2PlanRejectsBadSizes) {
+  EXPECT_THROW((void)fft::Pow2Plan(0), ContractViolation);
+  EXPECT_THROW((void)fft::Pow2Plan(12), ContractViolation);
+  const fft::Pow2Plan plan(8);
+  CVector wrong(4);
+  EXPECT_THROW(plan.transform(wrong, Direction::Forward), ContractViolation);
+}
+
 }  // namespace

@@ -14,6 +14,7 @@
 #include "rfade/stats/histogram.hpp"
 #include "rfade/stats/ks_test.hpp"
 #include "rfade/numeric/matrix_ops.hpp"
+#include "rfade/special/gamma.hpp"
 #include "rfade/stats/moments.hpp"
 
 namespace {
@@ -382,6 +383,126 @@ TEST(Distributions, TwdpMomentsAndCdfConsistency) {
   EXPECT_THROW((void)stats::TwdpDistribution::from_parameters(1.0, 0.5, 0.0),
                ContractViolation);
   EXPECT_THROW((void)stats::TwdpDistribution(1.0, 2.0, 1.0),
+               ContractViolation);
+}
+
+TEST(Distributions, LognormalMomentsAndQuantiles) {
+  // 6 dB shadowing of an amplitude gain, 0 dB median.
+  const auto ln = stats::LognormalDistribution::from_db(0.0, 6.0);
+  const double s = 6.0 * std::log(10.0) / 20.0;
+  EXPECT_NEAR(ln.mean(), std::exp(0.5 * s * s), 1e-12);
+  EXPECT_NEAR(ln.second_moment(), std::exp(2.0 * s * s), 1e-12);
+  EXPECT_NEAR(ln.quantile(0.5), 1.0, 1e-10);  // median = 10^{0/20}
+  EXPECT_NEAR(ln.cdf(ln.quantile(0.1)), 0.1, 1e-10);
+  EXPECT_NEAR(ln.cdf(ln.quantile(0.975)), 0.975, 1e-10);
+  const double h = 1e-6;
+  EXPECT_NEAR((ln.cdf(1.3 + h) - ln.cdf(1.3 - h)) / (2 * h), ln.pdf(1.3),
+              1e-6);
+  EXPECT_THROW((void)stats::LognormalDistribution(0.0, 0.0),
+               ContractViolation);
+}
+
+TEST(Distributions, NakagamiMomentsQuantilesAndRayleighLimit) {
+  // m = 1 is exactly Rayleigh with sigma_g^2 = Omega.
+  const double omega = 2.5;
+  const stats::NakagamiDistribution nak1(1.0, omega);
+  const auto rayleigh =
+      stats::RayleighDistribution::from_gaussian_power(omega);
+  for (double r : {0.3, 0.9, 1.7, 3.0}) {
+    EXPECT_NEAR(nak1.cdf(r), rayleigh.cdf(r), 1e-12);
+    EXPECT_NEAR(nak1.pdf(r), rayleigh.pdf(r), 1e-12);
+  }
+  EXPECT_NEAR(nak1.mean(), rayleigh.mean(), 1e-12);
+  for (double m : {0.5, 1.0, 2.5, 4.0}) {
+    const stats::NakagamiDistribution nak(m, omega);
+    EXPECT_NEAR(nak.second_moment(), omega, 1e-12);
+    // Quantile inverts the exact incomplete-gamma CDF.
+    for (double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+      EXPECT_NEAR(nak.cdf(nak.quantile(p)), p, 1e-10) << "m=" << m;
+    }
+    const double h = 1e-6;
+    EXPECT_NEAR((nak.cdf(1.0 + h) - nak.cdf(1.0 - h)) / (2 * h), nak.pdf(1.0),
+                1e-6);
+    // Amount of fading E[(r^2 - Omega)^2]/Omega^2 = 1/m: deep fades for
+    // small m, shallower than Rayleigh for m > 1.
+    const double mean = nak.mean();
+    EXPECT_LT(std::abs(mean * mean + nak.variance() - omega), 1e-12);
+  }
+  EXPECT_THROW((void)stats::NakagamiDistribution(0.49, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)stats::NakagamiDistribution(1.0, 0.0),
+               ContractViolation);
+}
+
+TEST(Distributions, WeibullMomentsQuantilesAndRayleighLimit) {
+  // shape 2 is exactly Rayleigh with sigma = scale / sqrt(2).
+  const stats::WeibullDistribution wb2(2.0, 2.0);
+  const stats::RayleighDistribution rayleigh(2.0 / std::sqrt(2.0));
+  for (double r : {0.3, 1.1, 2.4}) {
+    EXPECT_NEAR(wb2.cdf(r), rayleigh.cdf(r), 1e-12);
+    EXPECT_NEAR(wb2.pdf(r), rayleigh.pdf(r), 1e-12);
+  }
+  const stats::WeibullDistribution wb(1.4, 0.8);
+  EXPECT_NEAR(wb.mean(), 0.8 * std::tgamma(1.0 + 1.0 / 1.4), 1e-12);
+  EXPECT_NEAR(wb.second_moment(), 0.64 * std::tgamma(1.0 + 2.0 / 1.4),
+              1e-12);
+  for (double p : {0.05, 0.5, 0.99}) {
+    EXPECT_NEAR(wb.cdf(wb.quantile(p)), p, 1e-12);
+  }
+  EXPECT_THROW((void)stats::WeibullDistribution(0.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)stats::WeibullDistribution(1.0, -1.0),
+               ContractViolation);
+}
+
+TEST(Distributions, SuzukiMomentsAndMixtureCdf) {
+  const double sigma_g2 = 2.0;
+  const auto suzuki =
+      stats::SuzukiDistribution::from_gaussian_power(sigma_g2, 0.0, 6.0);
+  // Independent product: moments factor exactly.
+  const auto rayleigh =
+      stats::RayleighDistribution::from_gaussian_power(sigma_g2);
+  EXPECT_NEAR(suzuki.mean(), suzuki.shadowing().mean() * rayleigh.mean(),
+              1e-12);
+  EXPECT_NEAR(suzuki.second_moment(),
+              suzuki.shadowing().second_moment() * sigma_g2, 1e-12);
+  // CDF is a proper distribution function and matches the pdf.
+  EXPECT_DOUBLE_EQ(suzuki.cdf(0.0), 0.0);
+  EXPECT_NEAR(suzuki.cdf(1e3), 1.0, 1e-9);
+  EXPECT_LT(suzuki.cdf(0.5), suzuki.cdf(1.5));
+  const double h = 1e-6;
+  EXPECT_NEAR((suzuki.cdf(1.2 + h) - suzuki.cdf(1.2 - h)) / (2 * h),
+              suzuki.pdf(1.2), 1e-6);
+  // sigma_dB -> 0 degenerates to the plain Rayleigh CDF.
+  const auto narrow =
+      stats::SuzukiDistribution::from_gaussian_power(sigma_g2, 0.0, 1e-6);
+  EXPECT_NEAR(narrow.cdf(1.0), rayleigh.cdf(1.0), 1e-8);
+  // Heavier low-end tail than Rayleigh at equal diffuse power (shadowing
+  // spreads the local mean).
+  const auto wide =
+      stats::SuzukiDistribution::from_gaussian_power(sigma_g2, 0.0, 8.0);
+  EXPECT_GT(wide.cdf(0.05), rayleigh.cdf(0.05));
+}
+
+TEST(Distributions, NormalQuantileInvertsCdf) {
+  for (double p : {1e-9, 1e-4, 0.02, 0.3, 0.5, 0.77, 0.999, 1.0 - 1e-9}) {
+    EXPECT_NEAR(stats::normal_cdf(stats::normal_quantile(p)), p,
+                1e-14 + 1e-12 * p);
+  }
+  EXPECT_NEAR(stats::normal_quantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_THROW((void)stats::normal_quantile(0.0), ContractViolation);
+  EXPECT_THROW((void)stats::normal_quantile(1.0), ContractViolation);
+}
+
+TEST(Distributions, InverseRegularizedGammaP) {
+  for (double a : {0.5, 1.0, 2.5, 4.0, 17.0}) {
+    for (double p : {1e-6, 0.03, 0.5, 0.97, 0.9999}) {
+      const double x = special::inverse_regularized_gamma_p(a, p);
+      EXPECT_NEAR(special::regularized_gamma_p(a, x), p, 1e-10)
+          << "a=" << a << " p=" << p;
+    }
+  }
+  EXPECT_DOUBLE_EQ(special::inverse_regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_THROW((void)special::inverse_regularized_gamma_p(2.0, 1.0),
                ContractViolation);
 }
 
