@@ -26,6 +26,12 @@ Usage:
   check_regression.py --current BENCH_x.json [--baseline bench/baseline_throughput.json]
                       [--compiler g++|clang++] [--tolerance 0.25]
                       [--pattern REGEX] [--reference NAME] [--absolute]
+                      [--summary FILE]
+
+--summary appends a GitHub-flavoured markdown table of every gated entry
+(ratio vs baseline, plus the inverse cost ratio in reference-normalized
+mode) to FILE — point it at $GITHUB_STEP_SUMMARY to surface the gate in
+the Actions run summary.
 
 Exit status: 0 OK, 1 regression, 2 usage/data error.
 """
@@ -96,6 +102,38 @@ def reference_ips(bench, name, reference):
     return None
 
 
+def write_summary(path, rows, opts):
+    """Append a markdown table of the gated entries to ``path``.
+
+    In reference-normalized mode the gated quantity is the items/s ratio
+    (a speedup); its inverse is the cost ratio readers usually quote
+    (e.g. overlap-save costs 1.04x the independent backend per sample),
+    so both columns are emitted.
+    """
+    try:
+        with open(path, "a") as f:
+            f.write(f"\n### Bench gate: vs `{opts.reference}`"
+                    if not opts.absolute else "\n### Bench gate (absolute)")
+            f.write(f" — pattern `{opts.pattern}`\n\n")
+            if opts.absolute:
+                f.write("| benchmark | current | baseline | floor | |\n")
+                f.write("|---|---:|---:|---:|---|\n")
+                for name, cur, base, floor, unit, status in rows:
+                    f.write(f"| `{name}` | {cur:.3g} {unit} | {base:.3g} | "
+                            f"{floor:.3g} | {status} |\n")
+            else:
+                f.write("| benchmark | speedup | cost ratio | baseline | "
+                        "floor | |\n")
+                f.write("|---|---:|---:|---:|---:|---|\n")
+                for name, cur, base, floor, unit, status in rows:
+                    cost = 1.0 / cur if cur > 0 else float("inf")
+                    f.write(f"| `{name}` | {cur:.2f}x | {cost:.2f}x | "
+                            f"{base:.2f}x | {floor:.2f}x | {status} |\n")
+    except OSError as e:
+        # The summary is advisory; never turn a bad path into a gate error.
+        print(f"note: cannot write summary {path}: {e}", file=sys.stderr)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True,
@@ -116,6 +154,9 @@ def main():
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw items/s instead of the "
                              "per-sample-normalized speedup")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown table of the gated entries "
+                             "to FILE (e.g. $GITHUB_STEP_SUMMARY)")
     opts = parser.parse_args()
 
     baseline_path = opts.baseline
@@ -143,6 +184,7 @@ def main():
 
     failures = []
     checked = 0
+    rows = []
     for name in sorted(gated):
         if name not in current:
             failures.append(f"{name}: present in baseline but missing from "
@@ -165,10 +207,15 @@ def main():
         status = "OK " if cur_value >= floor else "REG"
         print(f"{status} {name}: current {cur_value:.2f} {unit} vs baseline "
               f"{base_value:.2f} (floor {floor:.2f})")
+        rows.append((name, cur_value, base_value, floor, unit,
+                     status.strip()))
         if cur_value < floor:
             failures.append(
                 f"{name}: {cur_value:.2f} {unit} < floor {floor:.2f} "
                 f"({opts.tolerance:.0%} below baseline {base_value:.2f})")
+
+    if opts.summary and rows:
+        write_summary(opts.summary, rows, opts)
 
     if failures:
         print("\nbatched-path throughput regression detected:",

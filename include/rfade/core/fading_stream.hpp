@@ -90,6 +90,14 @@ struct FadingStreamOptions {
   /// Synthesize the N branch fills concurrently on the global thread
   /// pool.  Output is bit-identical either way.
   bool parallel_branches = true;
+  /// Overlap-save backend only: run the stateful cursor's N branch
+  /// convolutions as one batched planar FFT sweep over the shared plan
+  /// (doppler::OverlapSaveBatch) instead of N independent per-branch
+  /// passes.  Bit-identical either way — the keyed generate_block path
+  /// always uses the per-branch sources, and the test suite pins the two
+  /// against each other.  Ignored by the other backends and by the
+  /// non-power-of-two Bluestein fallback.
+  bool batched_fill = true;
   /// Key of the stateful next_block()/seek() realisation.
   std::uint64_t seed = 0;
 };
@@ -214,10 +222,14 @@ class FadingStream {
 
   /// Advance + fill + normalise + color one block: the single copy of the
   /// loop RealTimeGenerator, StreamingFadingSource and the cascaded /
-  /// TWDP real-time generators used to duplicate.
+  /// TWDP real-time generators used to duplicate.  When \p batch is
+  /// non-null (the cursor's batched overlap-save sweep) the per-branch
+  /// sources are bypassed and all N convolutions run as one planar
+  /// batch — bit-identical to the per-branch path.
   [[nodiscard]] numeric::CMatrix emit(SourceList& sources, random::Rng& rng,
                                       std::uint64_t block_index,
-                                      std::uint64_t first_instant) const;
+                                      std::uint64_t first_instant,
+                                      doppler::OverlapSaveBatch* batch) const;
 
   /// Advance + fill, discarding the output (history replay for seeks and
   /// keyed access to stateful backends).
@@ -230,6 +242,9 @@ class FadingStream {
   bool parallel_branches_;
   std::uint64_t seed_;
   SourceList sources_;
+  /// The cursor's batched overlap-save sweep (null when the backend,
+  /// options.batched_fill, or the non-power-of-two fallback opt out).
+  std::unique_ptr<doppler::OverlapSaveBatch> batch_;
   std::uint64_t next_block_ = 0;
 };
 

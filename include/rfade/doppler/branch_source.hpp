@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "rfade/doppler/idft_generator.hpp"
 #include "rfade/numeric/matrix.hpp"
@@ -57,6 +58,8 @@
 
 namespace rfade::fft {
 class Pow2Plan;
+class BluesteinPlan;
+class RealConvolver;
 }  // namespace rfade::fft
 
 namespace rfade::doppler {
@@ -167,21 +170,83 @@ class BranchSourceDesign {
   /// historical StreamingFadingSource crossfade.
   numeric::RVector fade_in_;   ///< sqrt(w),   w = (i+1) / (overlap+1)
   numeric::RVector fade_out_;  ///< sqrt(1-w)
-  /// Overlap-save: DFT_{2M} of the centered impulse response, and the
+  /// Overlap-save: DFT_{2M} of the centered REAL impulse response (h =
+  /// IDFT(F) is real because F is a real, even Doppler spectrum; the
+  /// ~1e-16 imaginary FP residue of the complex IDFT is dropped), and the
   /// per-sample complex variance 2 sigma_orig^2 / M of the white input
   /// stream that reproduces the Fig. 2 output statistics exactly.
   numeric::CVector kernel_spectrum_;
   double input_stream_variance_ = 0.0;
-  /// Overlap-save: precomputed 2M-point FFT plan (twiddles + bit-reverse
-  /// permutation) shared by every branch source, so the two transforms
-  /// per block stop recomputing ~2M twiddle multiplies each.  Null for
-  /// non-power-of-two 2M (Bluestein path) and the other backends; the
-  /// planned transform is bit-identical to the ad-hoc one.
+  /// Overlap-save, power-of-two 2M: the shared 2M-point plan plus the
+  /// real-kernel convolver built on it.  The I and Q Philox tapes pack
+  /// into one complex FFT (the real-FFT pairing trick — see
+  /// fft::RealConvolver), so each block costs one forward + one inverse
+  /// transform for BOTH quadratures; kernel_spectrum_ aliases the
+  /// convolver's spectrum.  Null for non-power-of-two 2M and the other
+  /// backends.
   std::shared_ptr<const fft::Pow2Plan> convolution_plan_;
+  std::shared_ptr<const fft::RealConvolver> convolver_;
+  /// Overlap-save, non-power-of-two 2M: the Bluestein plan built once so
+  /// the fallback stops rebuilding chirp/kernel tables and allocating
+  /// fresh fft::dft/idft vectors every block.
+  std::shared_ptr<const fft::BluesteinPlan> fallback_plan_;
 
   friend class IndependentBlockBranchSource;
   friend class WolaBranchSource;
   friend class OverlapSaveBranchSource;
+  friend class OverlapSaveBatch;
+};
+
+/// Batched overlap-save sweep over ALL branches of a stream: the N
+/// branches' forward/inverse passes run as one planar-layout,
+/// lane-lockstep batch over the design's shared plan
+/// (fft::Pow2Plan::transform_batched), in groups of up to 8 lanes — one
+/// zmm register of doubles — so the butterflies SIMD across transforms
+/// instead of across the (strided) points of a single transform.  Every
+/// lane's arithmetic is the scalar path's, so the sweep is bit-identical
+/// to running the per-branch OverlapSaveBranchSource fills one by one:
+/// core::FadingStream keeps the per-branch path as the keyed reference
+/// and the test suite pins batched ≡ per-branch.
+///
+/// Owns all workspaces (inputs, transform buffers, Philox tapes),
+/// preallocated at construction — the steady-state fill_block is
+/// allocation-free.  Like the per-branch source, the input tape is keyed
+/// by absolute sample position: fill_block(b) is a pure function of b
+/// with a shift fast path when blocks are consumed in order, and reset()
+/// only drops the cached inputs.
+class OverlapSaveBatch {
+ public:
+  /// \pre supports(*design); branch_seeds.size() >= 1 (one per branch,
+  /// in column order).
+  OverlapSaveBatch(std::shared_ptr<const BranchSourceDesign> design,
+                   std::vector<std::uint64_t> branch_seeds);
+  ~OverlapSaveBatch();
+
+  /// True when \p design can drive the batched sweep: the overlap-save
+  /// backend with a power-of-two 2M transform (the Bluestein fallback
+  /// stays per-branch).
+  [[nodiscard]] static bool supports(const BranchSourceDesign& design);
+
+  [[nodiscard]] std::size_t branches() const noexcept;
+
+  /// Compute output block \p block_index for every branch and write
+  /// w(l, j) = u_j[l] * post_scale into the block_size() x branches()
+  /// matrix \p w — the exact transpose-and-normalise pass of the
+  /// per-branch path (post_scale is the caller's 1/sigma_g).  Lane
+  /// groups run concurrently on the global pool when \p parallel.
+  void fill_block(std::uint64_t block_index, double post_scale,
+                  numeric::CMatrix& w, bool parallel);
+
+  /// Drop the cached input windows (seek support; the next fill_block
+  /// regenerates them from the bulk-Philox tapes).
+  void reset();
+
+ private:
+  struct LaneGroup;
+
+  std::shared_ptr<const BranchSourceDesign> design_;
+  std::vector<std::uint64_t> branch_seeds_;
+  std::vector<LaneGroup> groups_;
 };
 
 }  // namespace rfade::doppler

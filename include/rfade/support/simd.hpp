@@ -1,16 +1,31 @@
 #pragma once
 
 /// \file simd.hpp
-/// \brief Function-multiversioning helper for the batched hot-path kernels.
+/// \brief Function-multiversioning helpers for the batched hot-path kernels.
 ///
 /// RFADE_TARGET_CLONES_AVX2 compiles the annotated function twice — a
 /// baseline-ISA version and an AVX2 version — and lets the dynamic loader
-/// (ifunc) pick at startup.  The AVX2 clone deliberately does *not* enable
-/// FMA: fused contraction would change the bit pattern of the planar GEMM
-/// against the std::complex reference kernels, and the hot paths promise
-/// bit-identical results across code paths.  On toolchains or targets
-/// without multiversioning support the macro expands to nothing and the
-/// baseline loop is used everywhere.
+/// (ifunc) pick at startup.  RFADE_TARGET_CLONES_WIDE is the wider tier:
+/// it adds an avx512f clone (512-bit vectors) on x86-64.  On aarch64 the
+/// macros expand to nothing *by design*: NEON is part of the baseline ISA
+/// there, so the default build already auto-vectorizes the kernels with
+/// NEON and there is no wider tier to clone (SVE multiversioning needs the
+/// GCC 14+ "arch=" FMV syntax; revisit when the toolchain floor moves).
+///
+/// Bit-identity contract: the clones deliberately do *not* enable FMA via
+/// the target set (neither "avx2" nor the x86 FMV machinery turns on
+/// -mfma), and AVX-512F — whose 512-bit FMA is part of the base feature —
+/// is kept honest by compiling every strict-FP kernel TU with
+/// -ffp-contract=off (see CMakeLists.txt): fused contraction would change
+/// the bit pattern of the planar kernels against the std::complex
+/// reference paths, and the hot paths promise bit-identical results
+/// across code paths and clone tiers.  The one exception is the bulk
+/// Box-Muller fill, whose transcendental calls go through libmvec: vector
+/// variants of log/sin/cos differ across ISA widths by a few ulp, so that
+/// kernel's cross-ISA contract is ulp-level (its within-process purity is
+/// still exact — ifunc resolves one clone per process).  On toolchains or
+/// targets without multiversioning support the macros expand to nothing
+/// and the baseline loop is used everywhere.
 
 #if defined(__has_feature)
 #if __has_feature(address_sanitizer)
@@ -24,6 +39,9 @@
 #if defined(__x86_64__) && defined(__linux__) && \
     (defined(__GNUC__) || defined(__clang__)) && !defined(RFADE_DETAIL_ASAN)
 #define RFADE_TARGET_CLONES_AVX2 __attribute__((target_clones("default", "avx2")))
+#define RFADE_TARGET_CLONES_WIDE \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
 #else
 #define RFADE_TARGET_CLONES_AVX2
+#define RFADE_TARGET_CLONES_WIDE
 #endif

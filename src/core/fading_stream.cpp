@@ -43,6 +43,15 @@ FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
           ? design_->output_variance()
           : 2.0 * options.input_variance_per_dim;
   sources_ = make_sources(seed_);
+  if (options.batched_fill && pipeline_.dimension() > 0 &&
+      doppler::OverlapSaveBatch::supports(*design_)) {
+    std::vector<std::uint64_t> seeds(pipeline_.dimension());
+    for (std::size_t j = 0; j < seeds.size(); ++j) {
+      seeds[j] = doppler::BranchSourceDesign::input_seed(seed_, j);
+    }
+    batch_ = std::make_unique<doppler::OverlapSaveBatch>(design_,
+                                                         std::move(seeds));
+  }
 }
 
 FadingStream::SourceList FadingStream::make_sources(std::uint64_t seed) const {
@@ -57,9 +66,22 @@ FadingStream::SourceList FadingStream::make_sources(std::uint64_t seed) const {
 
 numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
                                     std::uint64_t block_index,
-                                    std::uint64_t first_instant) const {
+                                    std::uint64_t first_instant,
+                                    doppler::OverlapSaveBatch* batch) const {
   const std::size_t n = pipeline_.dimension();
   const std::size_t m = design_->block_size();
+
+  if (batch != nullptr) {
+    // Batched overlap-save sweep: the backend keys its randomness off the
+    // block index (its advance never touches the rng), so the whole
+    // advance/fill/normalise picture collapses into one planar batch that
+    // writes w(l, j) = u_j[l] / sigma_g directly — the same bits as the
+    // per-branch path below.
+    const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
+    numeric::CMatrix w(m, n);
+    batch->fill_block(block_index, inv_sigma, w, parallel_branches_);
+    return pipeline_.color_block(w, 1.0, first_instant);
+  }
 
   // Stochastic halves run branch-by-branch in a fixed serial order — the
   // rng consumption order never depends on thread count.
@@ -115,7 +137,8 @@ void FadingStream::replay(SourceList& sources, std::uint64_t seed,
 
 numeric::CMatrix FadingStream::next_block() {
   random::Rng rng = random::block_substream(seed_, next_block_);
-  numeric::CMatrix z = emit(sources_, rng, next_block_, next_instant());
+  numeric::CMatrix z =
+      emit(sources_, rng, next_block_, next_instant(), batch_.get());
   ++next_block_;
   return z;
 }
@@ -127,6 +150,9 @@ numeric::RMatrix FadingStream::next_envelope_block() {
 void FadingStream::seek(std::uint64_t block_index) {
   for (auto& source : sources_) {
     source->reset();
+  }
+  if (batch_) {
+    batch_->reset();
   }
   if (design_->history_blocks() > 0 && block_index > 0) {
     replay(sources_, seed_, block_index - 1);
@@ -141,7 +167,10 @@ numeric::CMatrix FadingStream::generate_block(std::uint64_t seed,
     replay(sources, seed, block_index - 1);
   }
   random::Rng rng = random::block_substream(seed, block_index);
-  return emit(sources, rng, block_index, block_index * block_size());
+  // Always the per-branch sources: the keyed path is the bit-reference
+  // the batched cursor is pinned against.
+  return emit(sources, rng, block_index, block_index * block_size(),
+              /*batch=*/nullptr);
 }
 
 numeric::RMatrix FadingStream::generate_envelope_block(
@@ -156,7 +185,7 @@ numeric::CMatrix FadingStream::generate_block_from(
                 "independent-block backend (the continuous backends key "
                 "their own randomness; use next_block/generate_block)");
   SourceList sources = make_sources(0);
-  return emit(sources, rng, 0, first_instant);
+  return emit(sources, rng, 0, first_instant, /*batch=*/nullptr);
 }
 
 }  // namespace rfade::core

@@ -10,6 +10,7 @@
 #include "rfade/random/bulk_gaussian.hpp"
 #include "rfade/random/xoshiro.hpp"
 #include "rfade/support/contracts.hpp"
+#include "rfade/support/parallel.hpp"
 
 namespace rfade::doppler {
 
@@ -129,30 +130,34 @@ class OverlapSaveBranchSource final : public BranchSource {
   void fill(std::span<numeric::cdouble> out) override {
     const std::size_t m = design_.block_size();
     ensure_inputs(pending_block_);
+    const double scale = 1.0 / static_cast<double>(2 * m);
     // Circular 2M convolution; entries [M-1, 2M) are wrap-free, i.e. the
     // linear convolution of the kernel with this input span.
-    if (const fft::Pow2Plan* plan = design_.convolution_plan_.get()) {
-      // Planned path: cached twiddles/permutation, in-place on reusable
-      // scratch — bit-identical to the ad-hoc transforms below, minus
-      // the per-call twiddle recomputation and allocations.
-      scratch_ = inputs_;
-      plan->transform(scratch_, fft::Direction::Forward);
-      for (std::size_t k = 0; k < scratch_.size(); ++k) {
-        scratch_[k] *= design_.kernel_spectrum_[k];
-      }
-      plan->transform(scratch_, fft::Direction::Inverse);
-      const double scale = 1.0 / static_cast<double>(2 * m);
+    if (const fft::RealConvolver* convolver = design_.convolver_.get()) {
+      // Real-kernel path: the I/Q tapes already live packed as one complex
+      // sequence, so the convolver's single forward/inverse pass over the
+      // cached plan convolves both quadratures (pairing trick) —
+      // bit-identical to transforming inputs_ and multiplying by
+      // kernel_spectrum_ by hand.
+      convolver->convolve_packed(inputs_, scratch_);
       for (std::size_t i = 0; i < m; ++i) {
         out[i] = scratch_[m - 1 + i] * scale;
       }
       return;
     }
-    numeric::CVector spectrum = fft::dft(inputs_);
-    for (std::size_t k = 0; k < spectrum.size(); ++k) {
-      spectrum[k] *= design_.kernel_spectrum_[k];
+    // Non-power-of-two 2M: the design's Bluestein plan with preallocated
+    // out/scratch workspaces — same value sequence as the historical
+    // fft::dft/idft calls, without rebuilding chirp tables or allocating
+    // four vectors per block.
+    const fft::BluesteinPlan& plan = *design_.fallback_plan_;
+    plan.transform(inputs_, spectrum_, fft::Direction::Forward, bwork_);
+    for (std::size_t k = 0; k < spectrum_.size(); ++k) {
+      spectrum_[k] *= design_.kernel_spectrum_[k];
     }
-    const numeric::CVector y = fft::idft(spectrum);
-    std::copy(y.begin() + (m - 1), y.begin() + (2 * m - 1), out.begin());
+    plan.transform(spectrum_, y_, fft::Direction::Inverse, bwork_);
+    for (std::size_t i = 0; i < m; ++i) {
+      out[i] = y_[m - 1 + i] * scale;
+    }
   }
 
   void reset() override {
@@ -205,7 +210,10 @@ class OverlapSaveBranchSource final : public BranchSource {
   bool have_inputs_ = false;
   numeric::RVector re_;
   numeric::RVector im_;
-  numeric::CVector scratch_;  ///< planned-transform workspace (2M)
+  numeric::CVector scratch_;   ///< convolver workspace (2M)
+  numeric::CVector spectrum_;  ///< Bluestein fallback: forward output
+  numeric::CVector y_;         ///< Bluestein fallback: inverse output
+  numeric::CVector bwork_;     ///< Bluestein fallback: inner scratch
 };
 
 // --- design -----------------------------------------------------------------
@@ -252,19 +260,32 @@ BranchSourceDesign::BranchSourceDesign(StreamBackend backend, std::size_t m,
         f[k] = numeric::cdouble(branch_.filter().coefficients[k], 0.0);
       }
       const numeric::CVector h = fft::idft(f);
-      // h peaks at l = 0 (mod M); center it so the *linear* FIR
+      // h is real (F is real and even) up to ~1e-16 IDFT rounding residue
+      // in the imaginary part, which we drop: a real kernel is what lets
+      // the I/Q tapes share one complex transform (fft::RealConvolver).
+      // It peaks at l = 0 (mod M); center it so the *linear* FIR
       // autocorrelation matches the circular Eq. (17) law up to the small
       // tail wraparound, at the price of an irrelevant M/2 group delay.
-      numeric::CVector centered(2 * m, numeric::cdouble{});
+      numeric::RVector centered(2 * m, 0.0);
       const std::size_t shift = m / 2;
       for (std::size_t k = 0; k < m; ++k) {
-        centered[k] = h[(k + m - shift) % m];
+        centered[k] = h[(k + m - shift) % m].real();
       }
-      kernel_spectrum_ = fft::dft(centered);
       input_stream_variance_ = 2.0 * input_variance_per_dim /
                                static_cast<double>(m);
       if (fft::is_power_of_two(2 * m)) {
         convolution_plan_ = std::make_shared<const fft::Pow2Plan>(2 * m);
+        convolver_ =
+            std::make_shared<const fft::RealConvolver>(convolution_plan_,
+                                                       centered);
+        kernel_spectrum_ = convolver_->kernel_spectrum();
+      } else {
+        numeric::CVector complexified(2 * m);
+        for (std::size_t k = 0; k < 2 * m; ++k) {
+          complexified[k] = numeric::cdouble(centered[k], 0.0);
+        }
+        kernel_spectrum_ = fft::dft(complexified);
+        fallback_plan_ = std::make_shared<const fft::BluesteinPlan>(2 * m);
       }
       break;
     }
@@ -294,6 +315,160 @@ std::unique_ptr<BranchSource> BranchSourceDesign::make_source(
       return std::make_unique<OverlapSaveBranchSource>(*this, branch_seed);
   }
   return nullptr;
+}
+
+// --- batched overlap-save sweep ---------------------------------------------
+
+/// One lane group of the batched sweep: up to 8 branches (one zmm register
+/// of doubles) whose 2M-point input windows and transform buffers live in
+/// planar point-major / lane-minor layout, re[p * lanes + b].
+struct OverlapSaveBatch::LaneGroup {
+  std::size_t first = 0;  ///< first branch (column) of this group
+  std::size_t lanes = 0;  ///< branches in this group (<= 8)
+  /// Cached input windows [input_block*M, input_block*M + 2M) per lane.
+  numeric::RVector in_re;
+  numeric::RVector in_im;
+  /// Transform workspace (the batched FFTs run in place).
+  numeric::RVector work_re;
+  numeric::RVector work_im;
+  /// One branch's M-sample bulk-Philox tape, scattered into the planar
+  /// layout after each fill.
+  numeric::RVector tape_re;
+  numeric::RVector tape_im;
+  std::uint64_t input_block = 0;
+  bool have_inputs = false;
+
+  /// One M-sample bulk fill per lane at absolute stream offset
+  /// \p first_sample, scattered into input rows [dest, dest + M) — the
+  /// same fill_complex_gaussians_planar calls as the per-branch fetch,
+  /// so the values are identical by construction.
+  void fetch(const BranchSourceDesign& design, const std::uint64_t* seeds,
+             std::uint64_t first_sample, std::size_t dest) {
+    const std::size_t m = design.block_size();
+    for (std::size_t b = 0; b < lanes; ++b) {
+      random::fill_complex_gaussians_planar(
+          seeds[first + b], /*stream=*/0, design.input_stream_variance_,
+          first_sample, m, tape_re.data(), tape_im.data());
+      for (std::size_t t = 0; t < m; ++t) {
+        in_re[(dest + t) * lanes + b] = tape_re[t];
+        in_im[(dest + t) * lanes + b] = tape_im[t];
+      }
+    }
+  }
+
+  /// Make the cached windows cover \p block, shifting the overlapping
+  /// half when advancing sequentially and regenerating both otherwise.
+  void ensure_inputs(const BranchSourceDesign& design,
+                     const std::uint64_t* seeds, std::uint64_t block) {
+    const std::size_t m = design.block_size();
+    if (have_inputs && block == input_block) {
+      return;
+    }
+    if (have_inputs && block == input_block + 1) {
+      const std::size_t half = m * lanes;
+      std::copy(in_re.begin() + half, in_re.end(), in_re.begin());
+      std::copy(in_im.begin() + half, in_im.end(), in_im.begin());
+      fetch(design, seeds, block * m + m, m);
+    } else {
+      fetch(design, seeds, block * m, 0);
+      fetch(design, seeds, block * m + m, m);
+    }
+    input_block = block;
+    have_inputs = true;
+  }
+
+  /// Batched convolution of every lane's window and extraction into the
+  /// output columns: forward batch FFT, shared-spectrum multiply, inverse
+  /// batch FFT, then w(l, first + b) = (wrap-free sample * 1/(2M)) *
+  /// post_scale — the same two componentwise multiplies, in the same
+  /// order, as the per-branch extract + scale_into_strided passes.
+  void fill_into(const BranchSourceDesign& design, double post_scale,
+                 numeric::CMatrix& w) {
+    const std::size_t m = design.block_size();
+    const std::size_t m2 = 2 * m;
+    std::copy(in_re.begin(), in_re.end(), work_re.begin());
+    std::copy(in_im.begin(), in_im.end(), work_im.begin());
+    const fft::Pow2Plan& plan = *design.convolution_plan_;
+    plan.transform_batched(work_re.data(), work_im.data(), lanes,
+                           fft::Direction::Forward);
+    fft::multiply_batched_pointwise(work_re.data(), work_im.data(), m2, lanes,
+                                    design.kernel_spectrum_.data());
+    plan.transform_batched(work_re.data(), work_im.data(), lanes,
+                           fft::Direction::Inverse);
+    const double scale = 1.0 / static_cast<double>(m2);
+    for (std::size_t l = 0; l < m; ++l) {
+      const double* row_re = work_re.data() + (m - 1 + l) * lanes;
+      const double* row_im = work_im.data() + (m - 1 + l) * lanes;
+      numeric::cdouble* out = &w(l, first);
+      for (std::size_t b = 0; b < lanes; ++b) {
+        const double ur = row_re[b] * scale;
+        const double ui = row_im[b] * scale;
+        out[b] = numeric::cdouble(ur * post_scale, ui * post_scale);
+      }
+    }
+  }
+};
+
+OverlapSaveBatch::OverlapSaveBatch(
+    std::shared_ptr<const BranchSourceDesign> design,
+    std::vector<std::uint64_t> branch_seeds)
+    : design_(std::move(design)), branch_seeds_(std::move(branch_seeds)) {
+  RFADE_EXPECTS(design_ != nullptr && supports(*design_),
+                "OverlapSaveBatch: design must be a power-of-two "
+                "overlap-save backend");
+  RFADE_EXPECTS(!branch_seeds_.empty(),
+                "OverlapSaveBatch: need at least one branch seed");
+  const std::size_t m = design_->block_size();
+  constexpr std::size_t kLanes = 8;  // one zmm register of doubles
+  for (std::size_t first = 0; first < branch_seeds_.size(); first += kLanes) {
+    LaneGroup group;
+    group.first = first;
+    group.lanes = std::min(kLanes, branch_seeds_.size() - first);
+    group.in_re.resize(2 * m * group.lanes);
+    group.in_im.resize(2 * m * group.lanes);
+    group.work_re.resize(2 * m * group.lanes);
+    group.work_im.resize(2 * m * group.lanes);
+    group.tape_re.resize(m);
+    group.tape_im.resize(m);
+    groups_.push_back(std::move(group));
+  }
+}
+
+OverlapSaveBatch::~OverlapSaveBatch() = default;
+
+bool OverlapSaveBatch::supports(const BranchSourceDesign& design) {
+  return design.backend() == StreamBackend::OverlapSaveFir &&
+         design.convolver_ != nullptr;
+}
+
+std::size_t OverlapSaveBatch::branches() const noexcept {
+  return branch_seeds_.size();
+}
+
+void OverlapSaveBatch::fill_block(std::uint64_t block_index, double post_scale,
+                                  numeric::CMatrix& w, bool parallel) {
+  RFADE_EXPECTS(w.rows() == design_->block_size() &&
+                    w.cols() == branch_seeds_.size(),
+                "OverlapSaveBatch: output matrix shape mismatch");
+  // Lane groups are independent (disjoint state, disjoint output
+  // columns): the group sweep parallelises exactly like the per-branch
+  // fills, with identical output either way.
+  support::parallel_for_chunked(
+      groups_.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t g = begin; g < end; ++g) {
+          groups_[g].ensure_inputs(*design_, branch_seeds_.data(),
+                                   block_index);
+          groups_[g].fill_into(*design_, post_scale, w);
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel});
+}
+
+void OverlapSaveBatch::reset() {
+  for (LaneGroup& group : groups_) {
+    group.have_inputs = false;
+  }
 }
 
 std::uint64_t BranchSourceDesign::input_seed(std::uint64_t seed,

@@ -1,8 +1,16 @@
 #include "rfade/fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rfade/support/contracts.hpp"
+#include "rfade/support/simd.hpp"
+
+// NOTE: this translation unit is compiled with -ffp-contract=off (see
+// CMakeLists.txt).  The batched planar kernels below promise bit-identical
+// results per lane against the std::complex scalar paths, and the avx512f
+// clone tier would otherwise be free to contract mul+add into 512-bit FMAs
+// and break that promise.
 
 namespace rfade::fft {
 
@@ -133,6 +141,79 @@ CVector idft(const CVector& data) {
   return result;
 }
 
+// --- Batched planar kernels --------------------------------------------------
+
+namespace {
+
+/// All butterfly stages of \p batch lockstep transforms on planar data
+/// (lane b of point p at [p * batch + b]).  The per-lane arithmetic is
+/// written to mirror the std::complex operations of Pow2Plan::transform
+/// exactly — odd = x * w as (xr*wr - xi*wi, xr*wi + xi*wr), then sum and
+/// difference — so each lane's value sequence is bit-identical to the
+/// scalar path.  The inner lane loops run over contiguous memory, which
+/// is what the clone tier vectorises (zmm on avx512f).
+RFADE_TARGET_CLONES_WIDE
+void batched_butterfly_stages(double* __restrict re, double* __restrict im,
+                              std::size_t n, std::size_t batch,
+                              const cdouble* twiddles) {
+  std::size_t offset = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const cdouble* w = twiddles + offset;
+    const std::size_t half = len / 2;
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = w[k].real();
+        const double wi = w[k].imag();
+        double* __restrict er = re + (start + k) * batch;
+        double* __restrict ei = im + (start + k) * batch;
+        double* __restrict xr = re + (start + k + half) * batch;
+        double* __restrict xi = im + (start + k + half) * batch;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const double odd_r = xr[b] * wr - xi[b] * wi;
+          const double odd_i = xr[b] * wi + xi[b] * wr;
+          const double even_r = er[b];
+          const double even_i = ei[b];
+          er[b] = even_r + odd_r;
+          ei[b] = even_i + odd_i;
+          xr[b] = even_r - odd_r;
+          xi[b] = even_i - odd_i;
+        }
+      }
+    }
+    offset += half;
+  }
+}
+
+/// Pointwise planar multiply by a shared spectrum, mirroring the operand
+/// order of std::complex operator*= (work[k] *= h[k]) per lane.
+RFADE_TARGET_CLONES_WIDE
+void batched_pointwise_kernel(double* __restrict re, double* __restrict im,
+                              std::size_t n, std::size_t batch,
+                              const cdouble* h) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double hr = h[k].real();
+    const double hi = h[k].imag();
+    double* __restrict r = re + k * batch;
+    double* __restrict i = im + k * batch;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double xr = r[b];
+      const double xi = i[b];
+      r[b] = xr * hr - xi * hi;
+      i[b] = xr * hi + xi * hr;
+    }
+  }
+}
+
+}  // namespace
+
+void multiply_batched_pointwise(double* re, double* im, std::size_t n,
+                                std::size_t batch, const cdouble* h) {
+  if (n == 0 || batch == 0) {
+    return;
+  }
+  batched_pointwise_kernel(re, im, n, batch, h);
+}
+
 // --- Pow2Plan ----------------------------------------------------------------
 
 namespace {
@@ -224,6 +305,203 @@ CVector Pow2Plan::idft(const CVector& data) const {
     value *= scale;
   }
   return copy;
+}
+
+void Pow2Plan::transform_batched(double* re, double* im, std::size_t batch,
+                                 Direction direction) const {
+  RFADE_EXPECTS(re != nullptr && im != nullptr,
+                "Pow2Plan::transform_batched: null data");
+  if (n_ == 1 || batch == 0) {
+    return;
+  }
+  // Bit-reversal permutation: each swap exchanges one planar row (batch
+  // contiguous lanes) — pure data movement, no rounding involved.
+  for (std::size_t s = 0; s + 1 < swaps_.size(); s += 2) {
+    const std::size_t i = std::size_t{swaps_[s]} * batch;
+    const std::size_t j = std::size_t{swaps_[s + 1]} * batch;
+    std::swap_ranges(re + i, re + i + batch, re + j);
+    std::swap_ranges(im + i, im + i + batch, im + j);
+  }
+  const std::vector<cdouble>& twiddles =
+      direction == Direction::Forward ? forward_twiddles_ : inverse_twiddles_;
+  batched_butterfly_stages(re, im, n_, batch, twiddles.data());
+}
+
+void Pow2Plan::transform_real_pair(const RVector& x, const RVector& y,
+                                   CVector& fx, CVector& fy) const {
+  RFADE_EXPECTS(x.size() == n_ && y.size() == n_,
+                "Pow2Plan::transform_real_pair: input size mismatch");
+  CVector z(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    z[j] = cdouble(x[j], y[j]);
+  }
+  transform(z, Direction::Forward);
+  fx.resize(n_);
+  fy.resize(n_);
+  // X[k] = (Z[k] + conj(Z[N-k]))/2, Y[k] = -i (Z[k] - conj(Z[N-k]))/2:
+  // the even/odd (conjugate-symmetric / conjugate-antisymmetric) parts of
+  // Z carry the two real sequences' spectra.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cdouble zk = z[k];
+    const cdouble zr = std::conj(z[(n_ - k) % n_]);
+    fx[k] = (zk + zr) * 0.5;
+    fy[k] = (zk - zr) * cdouble(0.0, -0.5);
+  }
+}
+
+CVector Pow2Plan::transform_real(const RVector& x) const {
+  RFADE_EXPECTS(x.size() == 2 * n_,
+                "Pow2Plan::transform_real: input must have 2 * size() samples");
+  // Split identity: pack even/odd samples into one complex sequence, take
+  // the N-point transform, and recombine with half-resolution twiddles.
+  CVector z(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    z[j] = cdouble(x[2 * j], x[2 * j + 1]);
+  }
+  transform(z, Direction::Forward);
+  CVector spectrum(2 * n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cdouble zk = z[k];
+    const cdouble zr = std::conj(z[(n_ - k) % n_]);
+    const cdouble even = (zk + zr) * 0.5;
+    const cdouble odd = (zk - zr) * cdouble(0.0, -0.5);
+    const cdouble w =
+        std::polar(1.0, -kPi * static_cast<double>(k) / static_cast<double>(n_));
+    const cdouble twisted = w * odd;
+    spectrum[k] = even + twisted;
+    spectrum[k + n_] = even - twisted;
+  }
+  return spectrum;
+}
+
+RVector Pow2Plan::inverse_real(const CVector& spectrum) const {
+  RFADE_EXPECTS(spectrum.size() == 2 * n_,
+                "Pow2Plan::inverse_real: spectrum must have 2 * size() bins");
+  // Undo the split recombination, inverse-transform the packed sequence,
+  // and unpack even/odd samples.  The 1/N inner scaling makes the overall
+  // operator the true inverse of transform_real (1/(2N) convention).
+  CVector z(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cdouble even = (spectrum[k] + spectrum[k + n_]) * 0.5;
+    const cdouble w =
+        std::polar(1.0, kPi * static_cast<double>(k) / static_cast<double>(n_));
+    const cdouble odd = (spectrum[k] - spectrum[k + n_]) * 0.5 * w;
+    z[k] = even + cdouble(0.0, 1.0) * odd;
+  }
+  transform(z, Direction::Inverse);
+  const double scale = 1.0 / static_cast<double>(n_);
+  RVector x(2 * n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    x[2 * j] = z[j].real() * scale;
+    x[2 * j + 1] = z[j].imag() * scale;
+  }
+  return x;
+}
+
+// --- BluesteinPlan -----------------------------------------------------------
+
+BluesteinPlan::BluesteinPlan(std::size_t n)
+    : n_(n), m_(next_pow2(n >= 1 ? 2 * n - 1 : 1)), inner_(m_) {
+  RFADE_EXPECTS(n >= 1, "BluesteinPlan: size must be >= 1");
+  forward_chirp_.resize(n);
+  inverse_chirp_.resize(n);
+  CVector forward_b(m_, cdouble{});
+  CVector inverse_b(m_, cdouble{});
+  // The chirp values and the conj-chirp convolution kernel replicate the
+  // ad-hoc bluestein() arithmetic verbatim (j^2 reduced mod 2n, the same
+  // std::polar calls), so the planned transform is bit-identical to it.
+  for (std::size_t j = 0; j < n; ++j) {
+    const unsigned long long j2 =
+        (static_cast<unsigned long long>(j) * j) % (2ull * n);
+    const double phase = kPi * static_cast<double>(j2) / static_cast<double>(n);
+    forward_chirp_[j] = std::polar(1.0, -phase);
+    inverse_chirp_[j] = std::polar(1.0, phase);
+    const cdouble forward_inv = std::conj(forward_chirp_[j]);
+    const cdouble inverse_inv = std::conj(inverse_chirp_[j]);
+    forward_b[j] = forward_inv;
+    inverse_b[j] = inverse_inv;
+    if (j != 0) {
+      forward_b[m_ - j] = forward_inv;
+      inverse_b[m_ - j] = inverse_inv;
+    }
+  }
+  inner_.transform(forward_b, Direction::Forward);
+  inner_.transform(inverse_b, Direction::Forward);
+  forward_kernel_ = std::move(forward_b);
+  inverse_kernel_ = std::move(inverse_b);
+}
+
+void BluesteinPlan::transform(const CVector& in, CVector& out,
+                              Direction direction, CVector& scratch) const {
+  RFADE_EXPECTS(in.size() == n_, "BluesteinPlan: input size mismatch");
+  const CVector& chirp =
+      direction == Direction::Forward ? forward_chirp_ : inverse_chirp_;
+  const CVector& kernel =
+      direction == Direction::Forward ? forward_kernel_ : inverse_kernel_;
+  scratch.assign(m_, cdouble{});
+  for (std::size_t j = 0; j < n_; ++j) {
+    scratch[j] = in[j] * chirp[j];
+  }
+  inner_.transform(scratch, Direction::Forward);
+  for (std::size_t j = 0; j < m_; ++j) {
+    scratch[j] *= kernel[j];
+  }
+  inner_.transform(scratch, Direction::Inverse);
+  out.resize(n_);
+  const double scale = 1.0 / static_cast<double>(m_);  // undo unnormalised IFFT
+  for (std::size_t j = 0; j < n_; ++j) {
+    out[j] = scratch[j] * scale * chirp[j];
+  }
+}
+
+// --- RealConvolver -----------------------------------------------------------
+
+RealConvolver::RealConvolver(std::shared_ptr<const Pow2Plan> plan,
+                             const RVector& kernel)
+    : plan_(std::move(plan)) {
+  RFADE_EXPECTS(plan_ != nullptr, "RealConvolver: null plan");
+  RFADE_EXPECTS(kernel.size() == plan_->size(),
+                "RealConvolver: kernel size must match plan size");
+  // Spectrum via the full complex transform of the zero-imaginary kernel:
+  // bit-identical to fft::dft of the complexified kernel, so swapping the
+  // convolver into a path that used to call fft::dft changes nothing.
+  CVector complexified(kernel.size());
+  for (std::size_t j = 0; j < kernel.size(); ++j) {
+    complexified[j] = cdouble(kernel[j], 0.0);
+  }
+  plan_->transform(complexified, Direction::Forward);
+  spectrum_ = std::move(complexified);
+}
+
+void RealConvolver::convolve_packed(const CVector& in, CVector& work) const {
+  RFADE_EXPECTS(in.size() == plan_->size(),
+                "RealConvolver: input size must match plan size");
+  work = in;
+  plan_->transform(work, Direction::Forward);
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    work[k] *= spectrum_[k];
+  }
+  plan_->transform(work, Direction::Inverse);
+}
+
+void RealConvolver::convolve_pair(const double* x, const double* y,
+                                  double* out_x, double* out_y,
+                                  CVector& work) const {
+  const std::size_t n = plan_->size();
+  work.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    work[j] = cdouble(x[j], y[j]);
+  }
+  plan_->transform(work, Direction::Forward);
+  for (std::size_t k = 0; k < n; ++k) {
+    work[k] *= spectrum_[k];
+  }
+  plan_->transform(work, Direction::Inverse);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out_x[j] = work[j].real() * scale;
+    out_y[j] = work[j].imag() * scale;
+  }
 }
 
 CVector naive_dft(const CVector& data, Direction direction) {

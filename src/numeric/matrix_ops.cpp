@@ -10,9 +10,12 @@ namespace rfade::numeric {
 namespace {
 
 /// One row tile of the planar GEMM (m <= tile rows), multiversioned for
-/// wider vectors; the avx2 clone has no FMA, so every clone produces the
-/// bit pattern of the scalar mul/add sequence.
-RFADE_TARGET_CLONES_AVX2
+/// wider vectors; no clone enables FMA via its target set, and this TU is
+/// compiled with -ffp-contract=off (see CMakeLists.txt) so the avx512f
+/// clone — whose base feature set includes 512-bit FMA — cannot contract
+/// either: every clone produces the bit pattern of the scalar mul/add
+/// sequence.
+RFADE_TARGET_CLONES_WIDE
 void planar_gemm_tile(const double* __restrict a_re,
                       const double* __restrict a_im, std::size_t m,
                       std::size_t k, const double* __restrict b_re,
@@ -223,8 +226,9 @@ namespace {
 
 /// Crossfade kernel on the raw interleaved re/im doubles (std::complex
 /// is array-layout-compatible), multiversioned like planar_gemm_tile; no
-/// FMA, so every clone keeps the scalar bit pattern w0*p + w1*c.
-RFADE_TARGET_CLONES_AVX2
+/// FMA in any clone (contract off for this TU), so every clone keeps the
+/// scalar bit pattern w0*p + w1*c.
+RFADE_TARGET_CLONES_WIDE
 void crossfade_kernel(const double* __restrict w0,
                       const double* __restrict w1,
                       const double* __restrict prev,
@@ -238,7 +242,7 @@ void crossfade_kernel(const double* __restrict w0,
   }
 }
 
-RFADE_TARGET_CLONES_AVX2
+RFADE_TARGET_CLONES_WIDE
 void scale_strided_kernel(const double* __restrict u, std::size_t count,
                           double scale, double* __restrict out,
                           std::size_t stride) {

@@ -3,6 +3,7 @@
 
 #include "rfade/random/bulk_gaussian.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -21,8 +22,13 @@ constexpr double kTwoPi = 6.283185307179586476925286766559;
 constexpr std::size_t kTile = 1024;
 
 /// The Box-Muller transform over one tile, multiversioned so the libmvec
-/// calls use the widest vector ISA the machine has.
-RFADE_TARGET_CLONES_AVX2
+/// calls use the widest vector ISA the machine has (zmm log/sin/cos on
+/// avx512f).  Cross-ISA the contract is ulp-level, not bitwise: libmvec's
+/// vector transcendentals differ by a few ulp between the xmm/ymm/zmm
+/// variants (the multiplies here have no adds, so FMA contraction is moot).
+/// Within one process the ifunc resolves a single clone, so purity across
+/// rfade's code paths stays exact.
+RFADE_TARGET_CLONES_WIDE
 void box_muller_tile(const double* __restrict u, const double* __restrict v,
                      double* __restrict radius, double sigma_per_dim,
                      std::size_t m, double* __restrict out_re,
@@ -58,9 +64,17 @@ void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
   const auto stream_hi = static_cast<std::uint32_t>(stream >> 32);
   const double sigma_per_dim = std::sqrt(0.5 * variance);
 
-  double u[kTile];
-  double v[kTile];
-  double radius[kTile];
+  // 64-byte-aligned tile-local buffers: the vectorized loops must never
+  // peel for alignment or fall into a narrower-width epilogue, because
+  // libmvec's xmm/ymm/zmm transcendentals differ in the low bits — an
+  // element computed at a different width would break the positional
+  // purity contract (the value at an absolute sample index must not
+  // depend on how the enclosing fill calls are partitioned).
+  alignas(64) double u[kTile];
+  alignas(64) double v[kTile];
+  alignas(64) double radius[kTile];
+  alignas(64) double tile_re[kTile];
+  alignas(64) double tile_im[kTile];
 
   for (std::size_t base = 0; base < count; base += kTile) {
     const std::size_t m = std::min(kTile, count - base);
@@ -79,8 +93,18 @@ void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
       u[t] = 1.0 - to_unit_double(bits01);
       v[t] = kTwoPi * to_unit_double(bits23);
     }
+    // Pad the tile to the widest clone's vector width (8 doubles, one zmm)
+    // with log-safe dummies, so every real element goes through the
+    // full-width loop body — see the purity note above.
+    const std::size_t padded = (m + 7) & ~std::size_t{7};
+    for (std::size_t t = m; t < padded; ++t) {
+      u[t] = 1.0;
+      v[t] = 0.0;
+    }
     // Split loops: each maps 1:1 onto a libmvec vector call.
-    box_muller_tile(u, v, radius, sigma_per_dim, m, re + base, im + base);
+    box_muller_tile(u, v, radius, sigma_per_dim, padded, tile_re, tile_im);
+    std::copy(tile_re, tile_re + m, re + base);
+    std::copy(tile_im, tile_im + m, im + base);
   }
 }
 

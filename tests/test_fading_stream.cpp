@@ -294,6 +294,91 @@ TEST(FadingStream, OverlapSaveIsStationaryAcrossManyBoundaries) {
   }
 }
 
+TEST(FadingStream, BatchedFillBitIdenticalToPerBranchForEveryBackend) {
+  // The batched overlap-save sweep (one planar multi-lane FFT over the
+  // shared plan) must reproduce the per-branch PR-4/5 output bit for bit,
+  // and the flag must be a pure no-op on the other backends.  N = 3
+  // exercises a partial lane group; the 10-branch case below a full
+  // 8-lane group plus a 2-lane tail.
+  for (const StreamBackend backend :
+       {StreamBackend::IndependentBlock, StreamBackend::WindowedOverlapAdd,
+        StreamBackend::OverlapSaveFir}) {
+    FadingStreamOptions batched;
+    batched.backend = backend;
+    batched.idft_size = 64;
+    batched.normalized_doppler = 0.1;
+    batched.overlap = backend == StreamBackend::WindowedOverlapAdd ? 16 : 0;
+    batched.seed = 0xBA7C;
+    batched.batched_fill = true;
+    FadingStreamOptions per_branch = batched;
+    per_branch.batched_fill = false;
+
+    FadingStream a(paper_k(), batched);
+    FadingStream b(paper_k(), per_branch);
+    for (int block = 0; block < 4; ++block) {
+      EXPECT_EQ(a.next_block(), b.next_block())
+          << doppler::stream_backend_name(backend) << " block " << block;
+    }
+    // Seeks reset the batch's cached input windows too.
+    a.seek(1);
+    b.seek(1);
+    EXPECT_EQ(a.next_block(), b.next_block())
+        << doppler::stream_backend_name(backend);
+    a.seek(6);
+    b.seek(6);
+    EXPECT_EQ(a.next_block(), b.next_block())
+        << doppler::stream_backend_name(backend);
+  }
+
+  // Ten branches: one full zmm-width lane group plus a two-lane tail.
+  CMatrix k10 = CMatrix::identity(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i != j) {
+        k10(i, j) = cdouble(0.3, 0.0);
+      }
+    }
+  }
+  FadingStreamOptions batched;
+  batched.backend = StreamBackend::OverlapSaveFir;
+  batched.idft_size = 64;
+  batched.normalized_doppler = 0.1;
+  batched.seed = 0xBA7D;
+  FadingStreamOptions per_branch = batched;
+  per_branch.batched_fill = false;
+  FadingStream a(k10, batched);
+  FadingStream b(k10, per_branch);
+  for (int block = 0; block < 3; ++block) {
+    EXPECT_EQ(a.next_block(), b.next_block()) << "block " << block;
+  }
+}
+
+TEST(FadingStream, NonPowerOfTwoOverlapSaveKeyedEqualsCursorAndSeek) {
+  // M = 12 makes 2M = 24 non-power-of-two: the overlap-save fallback runs
+  // the design's preallocated Bluestein plan (the batched sweep opts
+  // out), and the keyed / cursor / seek equivalence must hold exactly as
+  // on the radix-2 path.
+  FadingStreamOptions options =
+      scalar_options(StreamBackend::OverlapSaveFir, 12, 0.1, 0);
+  FadingStream cursor(CMatrix::identity(1), options);
+  FadingStream keyed(CMatrix::identity(1), options);
+  FadingStream seeker(CMatrix::identity(1), options);
+
+  std::vector<CMatrix> blocks;
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    blocks.push_back(cursor.next_block());
+  }
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(keyed.generate_block(options.seed, b), blocks[b])
+        << "block " << b;
+  }
+  seeker.seek(4);
+  EXPECT_EQ(seeker.next_block(), blocks[4]);
+  seeker.seek(0);
+  EXPECT_EQ(seeker.next_block(), blocks[0]);
+  EXPECT_EQ(seeker.next_block(), blocks[1]);
+}
+
 TEST(FadingStream, SeekableBulkFillsAgreeOnOverlap) {
   // The seekable bulk substream underlying the overlap-save inputs:
   // sample t consumes counter block t regardless of the window asked

@@ -16,6 +16,7 @@ using namespace rfade;
 using fft::Direction;
 using numeric::cdouble;
 using numeric::CVector;
+using numeric::RVector;
 
 constexpr double kPi = 3.141592653589793238462643383279502884;
 
@@ -238,6 +239,262 @@ TEST(Fft, Pow2PlanRejectsBadSizes) {
   const fft::Pow2Plan plan(8);
   CVector wrong(4);
   EXPECT_THROW(plan.transform(wrong, Direction::Forward), ContractViolation);
+}
+
+// --- real-input transforms ---------------------------------------------------
+
+RVector random_real_signal(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  RVector x(n);
+  for (double& v : x) {
+    v = rng.gaussian();
+  }
+  return x;
+}
+
+CVector complexify(const RVector& x) {
+  CVector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    z[i] = cdouble(x[i], 0.0);
+  }
+  return z;
+}
+
+TEST(FftReal, PairTransformMatchesNaiveDft) {
+  // The pairing identity: DFTs of two real sequences out of one complex
+  // transform, validated against the O(N^2) reference at the issue's
+  // sizes (N = 1 is the degenerate pack: fx = x[0], fy = y[0]).
+  for (std::size_t n : {1u, 2u, 4u, 4096u}) {
+    const fft::Pow2Plan plan(n);
+    const RVector x = random_real_signal(n, 100 + n);
+    const RVector y = random_real_signal(n, 200 + n);
+    CVector fx;
+    CVector fy;
+    plan.transform_real_pair(x, y, fx, fy);
+    const CVector ref_x = fft::naive_dft(complexify(x), Direction::Forward);
+    const CVector ref_y = fft::naive_dft(complexify(y), Direction::Forward);
+    const double tol = 1e-9 * std::max<double>(1.0, double(n));
+    EXPECT_LT(max_diff(fx, ref_x), tol) << "n=" << n;
+    EXPECT_LT(max_diff(fy, ref_y), tol) << "n=" << n;
+    // Real inputs give conjugate-symmetric spectra.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t r = (n - k) % n;
+      EXPECT_NEAR(std::abs(fx[k] - std::conj(fx[r])), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(fy[k] - std::conj(fy[r])), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(FftReal, SplitTransformMatchesNaiveDft) {
+  // The split identity: a length-2N real DFT from an N-point complex
+  // transform (sequence lengths 2, 4, 8, 8192 — the N/2-plan sizes for
+  // the issue's N list above 1).
+  for (std::size_t half : {1u, 2u, 4u, 4096u}) {
+    const fft::Pow2Plan plan(half);
+    const RVector x = random_real_signal(2 * half, 300 + half);
+    const CVector spectrum = plan.transform_real(x);
+    ASSERT_EQ(spectrum.size(), 2 * half);
+    const CVector reference =
+        fft::naive_dft(complexify(x), Direction::Forward);
+    EXPECT_LT(max_diff(spectrum, reference),
+              1e-9 * std::max<double>(1.0, double(2 * half)))
+        << "2n=" << 2 * half;
+  }
+}
+
+TEST(FftReal, SplitRoundTripRecoversSignal) {
+  for (std::size_t half : {1u, 2u, 4u, 64u, 4096u}) {
+    const fft::Pow2Plan plan(half);
+    const RVector x = random_real_signal(2 * half, 400 + half);
+    const RVector back = plan.inverse_real(plan.transform_real(x));
+    ASSERT_EQ(back.size(), x.size());
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      m = std::max(m, std::abs(back[i] - x[i]));
+    }
+    EXPECT_LT(m, 1e-11) << "2n=" << 2 * half;
+  }
+}
+
+TEST(FftReal, TransformRealRejectsWrongLength) {
+  const fft::Pow2Plan plan(8);
+  EXPECT_THROW((void)plan.transform_real(RVector(8)), ContractViolation);
+  EXPECT_THROW((void)plan.inverse_real(CVector(8)), ContractViolation);
+  RVector x(4);
+  RVector y(8);
+  CVector fx;
+  CVector fy;
+  EXPECT_THROW(plan.transform_real_pair(x, y, fx, fy), ContractViolation);
+}
+
+// --- batched planar transforms -----------------------------------------------
+
+TEST(Fft, BatchedTransformBitIdenticalPerLane) {
+  // Every lane of the planar batch must reproduce the scalar planned
+  // transform bit for bit — this equivalence is what lets the batched
+  // overlap-save sweep replace the per-branch fills without changing a
+  // single output bit.
+  for (std::size_t n : {1u, 2u, 8u, 256u, 4096u}) {
+    const fft::Pow2Plan plan(n);
+    for (std::size_t batch : {1u, 3u, 8u}) {
+      std::vector<CVector> lanes(batch);
+      std::vector<double> re(n * batch);
+      std::vector<double> im(n * batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        lanes[b] = random_signal(n, 7000 + 31 * n + b);
+        for (std::size_t p = 0; p < n; ++p) {
+          re[p * batch + b] = lanes[b][p].real();
+          im[p * batch + b] = lanes[b][p].imag();
+        }
+      }
+      for (const Direction direction :
+           {Direction::Forward, Direction::Inverse}) {
+        std::vector<double> bre = re;
+        std::vector<double> bim = im;
+        plan.transform_batched(bre.data(), bim.data(), batch, direction);
+        for (std::size_t b = 0; b < batch; ++b) {
+          CVector scalar = lanes[b];
+          plan.transform(scalar, direction);
+          for (std::size_t p = 0; p < n; ++p) {
+            EXPECT_EQ(bre[p * batch + b], scalar[p].real())
+                << "n=" << n << " batch=" << batch << " lane=" << b;
+            EXPECT_EQ(bim[p * batch + b], scalar[p].imag())
+                << "n=" << n << " batch=" << batch << " lane=" << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Fft, MultiplyBatchedPointwiseMatchesComplexMultiply) {
+  const std::size_t n = 257;  // odd, exercises the vector epilogue
+  const CVector h = random_signal(n, 51);
+  for (std::size_t batch : {1u, 5u, 8u}) {
+    std::vector<CVector> lanes(batch);
+    std::vector<double> re(n * batch);
+    std::vector<double> im(n * batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      lanes[b] = random_signal(n, 600 + b);
+      for (std::size_t p = 0; p < n; ++p) {
+        re[p * batch + b] = lanes[b][p].real();
+        im[p * batch + b] = lanes[b][p].imag();
+      }
+    }
+    fft::multiply_batched_pointwise(re.data(), im.data(), n, batch, h.data());
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t p = 0; p < n; ++p) {
+        cdouble expected = lanes[b][p];
+        expected *= h[p];  // the exact scalar operation the kernel mirrors
+        EXPECT_EQ(re[p * batch + b], expected.real());
+        EXPECT_EQ(im[p * batch + b], expected.imag());
+      }
+    }
+  }
+}
+
+// --- Bluestein plan ----------------------------------------------------------
+
+TEST(Fft, BluesteinPlanBitIdenticalToAdHocTransform) {
+  // The plan replays the ad-hoc Bluestein value sequence from cached
+  // chirp/kernel tables, so non-power-of-two overlap-save fallbacks can
+  // swap it in without changing a bit.
+  for (std::size_t n : {1u, 3u, 5u, 12u, 24u, 100u, 257u, 1000u}) {
+    const fft::BluesteinPlan plan(n);
+    EXPECT_EQ(plan.size(), n);
+    const CVector x = random_signal(n, 900 + n);
+    CVector out;
+    CVector scratch;
+    for (const Direction direction :
+         {Direction::Forward, Direction::Inverse}) {
+      plan.transform(x, out, direction, scratch);
+      const CVector reference = fft::transform(x, direction);
+      ASSERT_EQ(out.size(), reference.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i].real(), reference[i].real()) << "n=" << n;
+        EXPECT_EQ(out[i].imag(), reference[i].imag()) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Fft, BluesteinPlanRejectsBadInput) {
+  EXPECT_THROW((void)fft::BluesteinPlan(0), ContractViolation);
+  const fft::BluesteinPlan plan(5);
+  CVector wrong(4);
+  CVector out;
+  CVector scratch;
+  EXPECT_THROW(plan.transform(wrong, out, Direction::Forward, scratch),
+               ContractViolation);
+}
+
+// --- RealConvolver -----------------------------------------------------------
+
+TEST(Fft, RealConvolverSpectrumBitIdenticalToDft) {
+  const std::size_t n = 64;
+  const auto plan = std::make_shared<const fft::Pow2Plan>(n);
+  const RVector kernel = random_real_signal(n, 77);
+  const fft::RealConvolver convolver(plan, kernel);
+  const CVector reference = fft::dft(complexify(kernel));
+  ASSERT_EQ(convolver.kernel_spectrum().size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(convolver.kernel_spectrum()[k], reference[k]);
+  }
+}
+
+TEST(Fft, RealConvolverPackedMatchesManualPath) {
+  // convolve_packed must be bit-identical to transforming the packed
+  // input and multiplying by the kernel spectrum by hand — the exact
+  // inline loop the overlap-save branch source used to run.
+  const std::size_t n = 128;
+  const auto plan = std::make_shared<const fft::Pow2Plan>(n);
+  const RVector kernel = random_real_signal(n, 88);
+  const fft::RealConvolver convolver(plan, kernel);
+  const CVector in = random_signal(n, 89);
+
+  CVector expected = in;
+  plan->transform(expected, Direction::Forward);
+  for (std::size_t k = 0; k < n; ++k) {
+    expected[k] *= convolver.kernel_spectrum()[k];
+  }
+  plan->transform(expected, Direction::Inverse);
+
+  CVector work;
+  convolver.convolve_packed(in, work);
+  ASSERT_EQ(work.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(work[k], expected[k]);
+  }
+}
+
+TEST(Fft, RealConvolverPairIsCircularConvolution) {
+  // One forward + one inverse transform convolves BOTH real streams with
+  // the real kernel (the pairing trick); validate against the O(N^2)
+  // circular convolution of each stream separately.
+  const std::size_t n = 32;
+  const auto plan = std::make_shared<const fft::Pow2Plan>(n);
+  const RVector kernel = random_real_signal(n, 90);
+  const fft::RealConvolver convolver(plan, kernel);
+  const RVector x = random_real_signal(n, 91);
+  const RVector y = random_real_signal(n, 92);
+
+  RVector out_x(n);
+  RVector out_y(n);
+  CVector work;
+  convolver.convolve_pair(x.data(), y.data(), out_x.data(), out_y.data(),
+                          work);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    double cx = 0.0;
+    double cy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h = kernel[(l + n - j) % n];
+      cx += h * x[j];
+      cy += h * y[j];
+    }
+    EXPECT_NEAR(out_x[l], cx, 1e-10);
+    EXPECT_NEAR(out_y[l], cy, 1e-10);
+  }
 }
 
 }  // namespace
