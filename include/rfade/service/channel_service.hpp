@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file channel_service.hpp
+/// \brief Multi-tenant serving layer: sessions (tenant = spec + seed +
+///        cursor) over PlanCache-shared compiled channels, plus a batcher
+///        that coalesces many small concurrent pulls into one
+///        thread-pool-amortised sweep.
+///
+/// The serving model rests on two reproducibility contracts the lower
+/// layers already pin:
+///
+///   1. every block is a pure function of (spec, seed, block index) —
+///      the keyed generate_block paths are const and thread-safe; and
+///   2. the stateful stream walk equals the keyed walk bit-for-bit.
+///
+/// A Session is therefore three words of tenant state (compiled-channel
+/// handle, seed, cursor) riding an immutable CompiledChannel that any
+/// number of tenants share.  next_block()/seek() give each tenant its
+/// own independent deterministic timeline; the keyed generate_block() is
+/// what the batcher fans out over the global thread pool, so a thousand
+/// tenants pulling one block each cost one parallel sweep, not a
+/// thousand sequential engine hops.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/scenario/timevarying/cascaded_realtime.hpp"
+#include "rfade/service/channel_spec.hpp"
+#include "rfade/service/plan_cache.hpp"
+
+namespace rfade::service {
+
+/// One tenant's deterministic timeline over a shared compiled channel.
+///
+/// Sequential use (next_block / seek) is single-tenant stateful; the
+/// keyed generate_block / generate_envelope_block are const and
+/// thread-safe, and both walks are bit-identical: block b of seed s is
+/// the same matrix no matter which tenant, thread, or walk order
+/// produced it.
+class Session {
+ public:
+  Session(std::shared_ptr<const CompiledChannel> channel, std::uint64_t seed);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  [[nodiscard]] const CompiledChannel& channel() const noexcept {
+    return *channel_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return channel_->dimension();
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return channel_->block_size();
+  }
+  /// Index the next next_block() call will produce.
+  [[nodiscard]] std::uint64_t next_block_index() const noexcept {
+    return cursor_;
+  }
+
+  /// The next complex block of this tenant's timeline; advances the
+  /// cursor.  \throws UnsupportedOperationError for envelope-only
+  /// (copula) channels.
+  [[nodiscard]] numeric::CMatrix next_block();
+
+  /// The next envelope block (|z| elementwise; native for copula
+  /// channels); advances the cursor.
+  [[nodiscard]] numeric::RMatrix next_envelope_block();
+
+  /// Reposition the timeline: the next next_block() returns block
+  /// \p block_index.  O(1) — blocks are keyed, never replayed.
+  void seek(std::uint64_t block_index) noexcept { cursor_ = block_index; }
+
+  /// Block \p block_index of this tenant's timeline, cursor untouched.
+  /// Const and thread-safe: the batcher's fan-out hook.
+  [[nodiscard]] numeric::CMatrix generate_block(
+      std::uint64_t block_index) const;
+
+  /// Envelope form of generate_block (native for copula channels).
+  [[nodiscard]] numeric::RMatrix generate_envelope_block(
+      std::uint64_t block_index) const;
+
+ private:
+  std::shared_ptr<const CompiledChannel> channel_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t cursor_ = 0;
+  /// Per-seed stream engines (stream mode only): hosts of the const
+  /// keyed generate_block — their mutable next_block state is never
+  /// touched by the session.
+  std::optional<core::FadingStream> stream_;
+  std::optional<scenario::CascadedRealTimeGenerator> cascaded_;
+};
+
+/// One coalesced block request: \p session's block \p block_index.
+struct BlockRequest {
+  const Session* session = nullptr;
+  std::uint64_t block_index = 0;
+};
+
+/// The serving facade: compiles specs through a shared PlanCache, opens
+/// tenant sessions, and batches concurrent pulls.
+class ChannelService {
+ public:
+  /// \pre plan_cache_capacity >= 1.
+  explicit ChannelService(std::size_t plan_cache_capacity = 64);
+
+  ChannelService(const ChannelService&) = delete;
+  ChannelService& operator=(const ChannelService&) = delete;
+
+  /// Compile \p spec through the plan cache (shared on repeat specs).
+  [[nodiscard]] std::shared_ptr<const CompiledChannel> compile(
+      const ChannelSpec& spec) {
+    return cache_.get_or_compile(spec);
+  }
+
+  /// A new tenant session on \p spec (cache-shared plan) with its own
+  /// \p seed timeline starting at block 0.
+  [[nodiscard]] Session open_session(const ChannelSpec& spec,
+                                     std::uint64_t seed) {
+    return Session(compile(spec), seed);
+  }
+
+  /// A new tenant session on an already-compiled channel.
+  [[nodiscard]] static Session open_session(
+      std::shared_ptr<const CompiledChannel> channel, std::uint64_t seed) {
+    return Session(std::move(channel), seed);
+  }
+
+  /// Batcher: fulfil many small block requests as one thread-pool sweep.
+  /// Results are positionally aligned with \p requests and bit-identical
+  /// to calling request.session->generate_block(request.block_index)
+  /// sequentially.  Requests may mix sessions, repeat sessions, and
+  /// repeat indices freely.
+  [[nodiscard]] static std::vector<numeric::CMatrix> generate_blocks(
+      const std::vector<BlockRequest>& requests);
+
+  /// Batcher over the tenants' own cursors: pulls every session's next
+  /// block concurrently, then advances each cursor by one — bit-identical
+  /// to calling next_block() on each session in order.  Each session may
+  /// appear at most once per call (cursors advance once per call).
+  [[nodiscard]] static std::vector<numeric::CMatrix> pull_blocks(
+      const std::vector<Session*>& sessions);
+
+  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+
+ private:
+  PlanCache cache_;
+};
+
+}  // namespace rfade::service

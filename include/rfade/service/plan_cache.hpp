@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// \brief Thread-safe LRU cache of compiled channels, keyed by
+///        ChannelSpec content hash.
+///
+/// Compilation is the expensive phase (PSD forcing + eigendecomposition
+/// is O(N^3); shadowing FIR design and copula Laguerre tables add more),
+/// while a CompiledChannel is immutable and freely shared.  The cache
+/// therefore hands out shared_ptr<const CompiledChannel>: a hit is one
+/// hash lookup + refcount bump, an eviction never invalidates sessions
+/// still holding the old plan, and concurrent tenants of the same spec
+/// all ride one compile.
+///
+/// Collision policy: the 64-bit content hash is the index key, but every
+/// hit is confirmed with deep ChannelSpec equality.  A colliding spec
+/// (same hash, different content) is compiled fresh and returned WITHOUT
+/// caching — correctness is never sacrificed to the cache, and the
+/// resident entry keeps serving its own spec.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "rfade/service/channel_spec.hpp"
+
+namespace rfade::service {
+
+/// Counters snapshot (monotonic since construction; size/capacity are
+/// instantaneous).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< includes collisions
+  std::uint64_t evictions = 0;
+  std::uint64_t collisions = 0;  ///< equal hash, unequal spec
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Thread-safe LRU cache of CompiledChannel bundles (see file comment).
+class PlanCache {
+ public:
+  /// \pre capacity >= 1.
+  explicit PlanCache(std::size_t capacity = 64);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The compiled channel for \p spec: cached when an equal spec is
+  /// resident (LRU-touched), compiled otherwise.  Compilation runs
+  /// outside the cache lock, so a slow compile never blocks hits on
+  /// other specs; when two threads race to compile the same spec, the
+  /// first insert wins and both get equal-content bundles.
+  /// \throws whatever ChannelSpec::compile() throws, on misses.
+  [[nodiscard]] std::shared_ptr<const CompiledChannel> get_or_compile(
+      const ChannelSpec& spec);
+
+  /// The resident entry for \p spec (nullptr on miss); never compiles,
+  /// counts neither hit nor miss.
+  [[nodiscard]] std::shared_ptr<const CompiledChannel> peek(
+      const ChannelSpec& spec) const;
+
+  /// Drop all resident entries (handed-out bundles stay valid).
+  void clear();
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledChannel> channel;
+    std::list<std::uint64_t>::iterator lru_position;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace rfade::service

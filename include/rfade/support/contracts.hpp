@@ -16,9 +16,10 @@
 
 namespace rfade::detail {
 
-[[noreturn]] inline void raise_contract(const char* kind, const char* expr,
-                                        const char* file, int line,
-                                        const std::string& message) {
+[[nodiscard]] inline std::string format_contract(const char* kind,
+                                                 const char* expr,
+                                                 const char* file, int line,
+                                                 const std::string& message) {
   std::string what(kind);
   what += " failed: (";
   what += expr;
@@ -30,7 +31,20 @@ namespace rfade::detail {
     what += " — ";
     what += message;
   }
-  throw ContractViolation(what);
+  return what;
+}
+
+[[noreturn]] inline void raise_contract(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& message) {
+  throw ContractViolation(
+      format_contract(kind, expr, file, line, message));
+}
+
+[[noreturn]] inline void raise_spec(const char* expr, const char* file,
+                                    int line, const std::string& message) {
+  throw InvalidSpecError(
+      format_contract("spec validation", expr, file, line, message));
 }
 
 }  // namespace rfade::detail
@@ -50,5 +64,16 @@ namespace rfade::detail {
     if (!(cond)) {                                                        \
       ::rfade::detail::raise_contract("postcondition", #cond, __FILE__,   \
                                       __LINE__, (msg));                   \
+    }                                                                     \
+  } while (false)
+
+/// Check a declarative-spec validation rule; throws rfade::InvalidSpecError
+/// (ErrorCode::InvalidSpec) when \p cond is false.  Unlike RFADE_EXPECTS,
+/// a failure flags *rejectable caller input* — the service layer catches
+/// these and returns typed rejections instead of treating them as bugs.
+#define RFADE_SPEC_EXPECTS(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rfade::detail::raise_spec(#cond, __FILE__, __LINE__, (msg));      \
     }                                                                     \
   } while (false)

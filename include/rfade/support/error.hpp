@@ -1,47 +1,110 @@
 #pragma once
 
 /// \file error.hpp
-/// \brief Exception hierarchy used across the rfade library.
+/// \brief Exception hierarchy and machine-readable error taxonomy used
+///        across the rfade library.
 ///
 /// All library errors derive from rfade::Error so that callers can catch a
 /// single base type.  Specific subclasses communicate *why* an operation
 /// failed (dimension mismatch, loss of positive definiteness, failure to
 /// converge, ...), which the baseline-shortcoming experiments (DESIGN.md E9)
 /// rely on to distinguish failure modes of the conventional methods.
+///
+/// Every error additionally carries a stable machine-readable ErrorCode,
+/// so a serving layer (service/channel_service.hpp) can map rejections to
+/// typed responses without parsing what() strings: precondition failures
+/// raised by support/contracts.hpp arrive as ErrorCode::ContractViolation,
+/// declarative spec validation as ErrorCode::InvalidSpec, and so on.  The
+/// code is part of the API contract; the what() text is not.
 
 #include <stdexcept>
 #include <string>
 
 namespace rfade {
 
+/// Stable machine-readable failure taxonomy.  Codes identify the *class*
+/// of failure, never the call site; new codes may be appended but existing
+/// values never change meaning.
+enum class ErrorCode {
+  Unknown = 0,          ///< untyped legacy failure
+  ContractViolation,    ///< checked pre/postcondition failed (caller bug)
+  DimensionMismatch,    ///< operand shapes incompatible
+  DomainError,          ///< scalar argument outside its mathematical domain
+  ConvergenceFailure,   ///< iterative routine exhausted its budget
+  NotPositiveDefinite,  ///< factorization met a non-PD matrix
+  InvalidSpec,          ///< declarative channel/scenario spec rejected
+  UnsupportedOperation  ///< operation undefined for the compiled family
+};
+
+/// Stable lowercase identifier of \p code (e.g. "invalid_spec"), suitable
+/// for logs and wire formats.
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::ContractViolation:
+      return "contract_violation";
+    case ErrorCode::DimensionMismatch:
+      return "dimension_mismatch";
+    case ErrorCode::DomainError:
+      return "domain_error";
+    case ErrorCode::ConvergenceFailure:
+      return "convergence_failure";
+    case ErrorCode::NotPositiveDefinite:
+      return "not_positive_definite";
+    case ErrorCode::InvalidSpec:
+      return "invalid_spec";
+    case ErrorCode::UnsupportedOperation:
+      return "unsupported_operation";
+    case ErrorCode::Unknown:
+      break;
+  }
+  return "unknown";
+}
+
 /// Base class of every exception thrown by the rfade library.
 class Error : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::Unknown)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The machine-readable failure class.
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+  /// Stable identifier of code() (see error_code_name).
+  [[nodiscard]] const char* code_name() const noexcept {
+    return error_code_name(code_);
+  }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A checked API precondition or postcondition was violated.
 class ContractViolation : public Error {
  public:
-  using Error::Error;
+  explicit ContractViolation(const std::string& what)
+      : Error(what, ErrorCode::ContractViolation) {}
 };
 
 /// Operand shapes are incompatible (e.g. multiplying a 3x2 by a 4x4 matrix).
 class DimensionError : public Error {
  public:
-  using Error::Error;
+  explicit DimensionError(const std::string& what)
+      : Error(what, ErrorCode::DimensionMismatch) {}
 };
 
 /// A scalar argument is outside its mathematical domain.
 class ValueError : public Error {
  public:
-  using Error::Error;
+  explicit ValueError(const std::string& what)
+      : Error(what, ErrorCode::DomainError) {}
 };
 
 /// An iterative numerical routine failed to converge within its budget.
 class ConvergenceError : public Error {
  public:
-  using Error::Error;
+  explicit ConvergenceError(const std::string& what)
+      : Error(what, ErrorCode::ConvergenceFailure) {}
 };
 
 /// A factorization requiring positive definiteness met a matrix without it.
@@ -51,7 +114,26 @@ class ConvergenceError : public Error {
 /// eigendecomposition-based coloring avoids.
 class NotPositiveDefiniteError : public Error {
  public:
-  using Error::Error;
+  explicit NotPositiveDefiniteError(const std::string& what)
+      : Error(what, ErrorCode::NotPositiveDefinite) {}
+};
+
+/// A declarative channel/scenario spec failed validation — a *recoverable*
+/// rejection of caller input (unlike ContractViolation, which flags a
+/// programming error).  The service layer turns these into typed request
+/// rejections.
+class InvalidSpecError : public Error {
+ public:
+  explicit InvalidSpecError(const std::string& what)
+      : Error(what, ErrorCode::InvalidSpec) {}
+};
+
+/// The requested operation is undefined for the compiled channel family
+/// (e.g. complex blocks of an envelope-only copula channel).
+class UnsupportedOperationError : public Error {
+ public:
+  explicit UnsupportedOperationError(const std::string& what)
+      : Error(what, ErrorCode::UnsupportedOperation) {}
 };
 
 }  // namespace rfade

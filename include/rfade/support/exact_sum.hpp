@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file exact_sum.hpp
+/// \brief Order-invariant exact accumulation of IEEE doubles.
+///
+/// ExactSum is a fixed-point superaccumulator: every finite double is
+/// decomposed into its exact 53-bit integer significand and added into a
+/// wide array of base-2^32 limbs spanning the full double exponent range.
+/// Because each add is exact integer arithmetic, the accumulated state —
+/// and therefore value() — is a pure function of the *multiset* of inputs:
+/// independent of add order, chunking, or thread/shard layout.  merge() is
+/// limb-wise addition, so combining shard accumulators is exactly
+/// associative and commutative.
+///
+/// This is what makes the service-layer validator accumulators
+/// (service/accumulators.hpp) shard-mergeable with *bit-exact* equality:
+/// a two-shard run merged equals the single-run answer, not merely up to
+/// rounding.  The approach follows the "superaccumulator" line of exact
+/// summation work (Kulisch accumulators; Collange et al.'s reproducible
+/// BLAS); this implementation favours simplicity over peak throughput —
+/// it is for statistics accumulation, not the sample hot path.
+
+#include <cstdint>
+
+namespace rfade::support {
+
+/// Exact, order-invariant sum of finite doubles.
+///
+/// Not thread-safe; accumulate per-thread/shard instances and merge().
+class ExactSum {
+ public:
+  ExactSum() noexcept;
+
+  /// Adds \p x exactly.  Throws rfade::ValueError (ErrorCode::DomainError)
+  /// for NaN or infinity — a poisoned statistic should fail loudly, not
+  /// silently saturate.
+  void add(double x);
+
+  /// Number of add() calls folded in (including via merge()).
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Folds \p other into this accumulator; exactly equivalent to having
+  /// replayed all of other's add() calls here, in any order.
+  void merge(const ExactSum& other) noexcept;
+
+  /// The accumulated sum rounded back to double: a deterministic pure
+  /// function of the accumulated *multiset* (order- and shard-invariant),
+  /// faithful to the exact sum (the internal state is exact; only this
+  /// final read-out rounds).
+  [[nodiscard]] double value() const noexcept;
+
+  /// Resets to the empty sum.
+  void reset() noexcept;
+
+ private:
+  // Limbs in base 2^32 covering bit positions from below the smallest
+  // subnormal contribution through above the largest finite double times
+  // 2^63 of carry headroom.  Limb i holds a signed coefficient of
+  // 2^(32*i - kPointShift); coefficients may drift past 2^32 between
+  // normalizations (headroom tracked by pending_).
+  static constexpr int kLimbs = 68;
+  // Smallest contribution bit: a subnormal's significand scaled to an
+  // integer occupies bit e - 53 with e >= -1073, so shift the fixed
+  // point by 1126 to keep every index non-negative.
+  static constexpr int kPointShift = 1126;
+  // Normalize before signed-limb magnitudes can approach 2^63: each add
+  // deposits strictly less than 2^32 into any one limb, and a canonical
+  // state starts below 2^32 per limb, so after k adds |limb| < (k+1)·2^32.
+  // k = 2^20 keeps magnitudes under 2^53 — ample margin below 2^63.
+  static constexpr std::uint64_t kNormalizeEvery = 1u << 20;
+
+  void normalize() const noexcept;
+
+  mutable std::int64_t limbs_[kLimbs];
+  std::uint64_t count_ = 0;
+  mutable std::uint64_t pending_ = 0;
+};
+
+}  // namespace rfade::support

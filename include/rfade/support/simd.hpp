@@ -27,17 +27,22 @@
 /// targets without multiversioning support the macros expand to nothing
 /// and the baseline loop is used everywhere.
 
+// Sanitizers and ifunc-based multiversioning do not mix: the clone
+// resolver runs during dynamic relocation, before the sanitizer runtime
+// initializes, and TSan's function-entry instrumentation in (or reached
+// from) the resolver segfaults on the uninitialized runtime.  Fall back
+// to the baseline loop under ASan and TSan.
 #if defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define RFADE_DETAIL_ASAN 1
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RFADE_DETAIL_SANITIZED 1
 #endif
 #endif
-#if defined(__SANITIZE_ADDRESS__)
-#define RFADE_DETAIL_ASAN 1
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RFADE_DETAIL_SANITIZED 1
 #endif
 
 #if defined(__x86_64__) && defined(__linux__) && \
-    (defined(__GNUC__) || defined(__clang__)) && !defined(RFADE_DETAIL_ASAN)
+    (defined(__GNUC__) || defined(__clang__)) && !defined(RFADE_DETAIL_SANITIZED)
 #define RFADE_TARGET_CLONES_AVX2 __attribute__((target_clones("default", "avx2")))
 #define RFADE_TARGET_CLONES_WIDE \
   __attribute__((target_clones("default", "avx2", "avx512f")))

@@ -1,5 +1,7 @@
 #include "rfade/core/generator.hpp"
 
+#include "rfade/service/channel_spec.hpp"
+
 namespace rfade::core {
 
 namespace {
@@ -13,11 +15,22 @@ PipelineOptions pipeline_options_from(const GeneratorOptions& options) {
 
 }  // namespace
 
+// The covariance entry point is a thin wrapper over the canonical
+// ChannelSpec path: one spec → compile() → the shared instant pipeline.
+// Spec-level validation stays out of the way here — shape/positivity
+// violations surface from the compile layers as ContractViolation,
+// exactly as before the serving layer existed.
 EnvelopeGenerator::EnvelopeGenerator(numeric::CMatrix desired_covariance,
                                      GeneratorOptions options)
-    : pipeline_(ColoringPlan::create(std::move(desired_covariance),
-                                     options.coloring),
-                pipeline_options_from(options)) {}
+    : pipeline_(service::ChannelSpec::Builder()
+                    .rayleigh(std::move(desired_covariance))
+                    .constant_mean(std::move(options.mean_offset))
+                    .sample_variance(options.sample_variance)
+                    .coloring(options.coloring)
+                    .instant()
+                    .build()
+                    .compile()
+                    ->pipeline()) {}
 
 EnvelopeGenerator::EnvelopeGenerator(std::shared_ptr<const ColoringPlan> plan,
                                      GeneratorOptions options)

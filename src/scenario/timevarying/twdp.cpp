@@ -7,6 +7,7 @@
 
 #include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/random/xoshiro.hpp"
+#include "rfade/service/channel_spec.hpp"
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/parallel.hpp"
 
@@ -151,8 +152,23 @@ TwdpGenerator::TwdpGenerator(std::shared_ptr<const core::ColoringPlan> plan,
   }
 }
 
+// Spec entry point: a thin wrapper over the canonical ChannelSpec path —
+// the diffuse plan comes out of compile() (and therefore benefits from
+// PlanCache sharing when the same scenario is also served), then the
+// plan-sharing constructor runs unchanged.  compile()->plan() is the
+// same ColoringPlan::create(diffuse, coloring) product as the historical
+// spec.build_plan(coloring), so the output is bit-identical.
 TwdpGenerator::TwdpGenerator(TwdpSpec spec, TwdpOptions options)
-    : TwdpGenerator(spec.build_plan(options.coloring), spec, options) {}
+    : TwdpGenerator(service::ChannelSpec::Builder()
+                        .twdp(spec.diffuse_covariance(), spec.branches())
+                        .coloring(options.coloring)
+                        .block_size(options.block_size)
+                        .parallel(options.parallel)
+                        .instant()
+                        .build()
+                        .compile()
+                        ->plan(),
+                    spec, options) {}
 
 void TwdpGenerator::add_waves(std::size_t count, std::uint64_t seed,
                               std::uint64_t block_index,

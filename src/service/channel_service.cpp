@@ -1,0 +1,124 @@
+#include "rfade/service/channel_service.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rfade/support/contracts.hpp"
+#include "rfade/support/error.hpp"
+#include "rfade/support/parallel.hpp"
+
+namespace rfade::service {
+
+namespace {
+
+numeric::RMatrix envelopes_of(const numeric::CMatrix& block) {
+  numeric::RMatrix envelopes(block.rows(), block.cols());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    envelopes.data()[i] = std::abs(block.data()[i]);
+  }
+  return envelopes;
+}
+
+}  // namespace
+
+Session::Session(std::shared_ptr<const CompiledChannel> channel,
+                 std::uint64_t seed)
+    : channel_(std::move(channel)), seed_(seed) {
+  RFADE_EXPECTS(channel_ != nullptr, "Session needs a compiled channel");
+  if (channel_->mode() == EmissionMode::Stream) {
+    // Per-seed engine instances: hosts of the const keyed
+    // generate_block (their design work runs once per session).
+    if (channel_->family() == FadingFamily::CascadedRayleigh) {
+      cascaded_.emplace(channel_->make_cascaded_stream(seed));
+    } else {
+      stream_.emplace(channel_->make_stream(seed));
+    }
+  }
+}
+
+numeric::CMatrix Session::next_block() {
+  numeric::CMatrix block = generate_block(cursor_);
+  ++cursor_;
+  return block;
+}
+
+numeric::RMatrix Session::next_envelope_block() {
+  numeric::RMatrix block = generate_envelope_block(cursor_);
+  ++cursor_;
+  return block;
+}
+
+numeric::CMatrix Session::generate_block(std::uint64_t block_index) const {
+  if (stream_.has_value()) {
+    return stream_->generate_block(seed_, block_index);
+  }
+  if (cascaded_.has_value()) {
+    return cascaded_->generate_block(seed_, block_index);
+  }
+  const std::size_t count = channel_->block_size();
+  switch (channel_->family()) {
+    case FadingFamily::Rayleigh:
+    case FadingFamily::Rician:
+      return channel_->pipeline().sample_block(count, seed_, block_index);
+    case FadingFamily::Twdp:
+      return channel_->twdp_generator().sample_block(count, seed_,
+                                                     block_index);
+    case FadingFamily::CascadedRayleigh:
+      return channel_->cascaded_generator().sample_block(count, seed_,
+                                                         block_index);
+    case FadingFamily::Suzuki:
+      return channel_->suzuki_generator().sample_block(count, seed_,
+                                                       block_index);
+    case FadingFamily::CopulaMarginals:
+      break;
+  }
+  throw UnsupportedOperationError(
+      "generate_block: copula channels are envelope-only — use "
+      "generate_envelope_block / next_envelope_block");
+}
+
+numeric::RMatrix Session::generate_envelope_block(
+    std::uint64_t block_index) const {
+  if (channel_->envelope_only()) {
+    return channel_->copula_transform().sample_envelope_block(
+        channel_->block_size(), seed_, block_index);
+  }
+  return envelopes_of(generate_block(block_index));
+}
+
+ChannelService::ChannelService(std::size_t plan_cache_capacity)
+    : cache_(plan_cache_capacity) {}
+
+std::vector<numeric::CMatrix> ChannelService::generate_blocks(
+    const std::vector<BlockRequest>& requests) {
+  std::vector<numeric::CMatrix> blocks(requests.size());
+  support::parallel_for_chunked(
+      requests.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          RFADE_EXPECTS(requests[i].session != nullptr,
+                        "BlockRequest needs a session");
+          blocks[i] =
+              requests[i].session->generate_block(requests[i].block_index);
+        }
+      },
+      {.chunk_size = 1});
+  return blocks;
+}
+
+std::vector<numeric::CMatrix> ChannelService::pull_blocks(
+    const std::vector<Session*>& sessions) {
+  std::vector<BlockRequest> requests;
+  requests.reserve(sessions.size());
+  for (Session* session : sessions) {
+    RFADE_EXPECTS(session != nullptr, "pull_blocks needs live sessions");
+    requests.push_back({session, session->next_block_index()});
+  }
+  std::vector<numeric::CMatrix> blocks = generate_blocks(requests);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    sessions[i]->seek(requests[i].block_index + 1);
+  }
+  return blocks;
+}
+
+}  // namespace rfade::service

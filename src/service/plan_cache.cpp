@@ -1,0 +1,89 @@
+#include "rfade/service/plan_cache.hpp"
+
+#include <utility>
+
+#include "rfade/support/contracts.hpp"
+
+namespace rfade::service {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  RFADE_EXPECTS(capacity >= 1, "PlanCache needs capacity >= 1");
+}
+
+std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
+    const ChannelSpec& spec) {
+  const std::uint64_t key = spec.content_hash();
+  bool collision = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.channel->spec() == spec) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        return it->second.channel;
+      }
+      collision = true;
+    }
+  }
+
+  // Compile outside the lock: slow plans must not serialize the cache.
+  std::shared_ptr<const CompiledChannel> channel = spec.compile();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  if (collision) {
+    // Same hash, different content: serve fresh, never displace the
+    // resident entry (see header collision policy).
+    ++collisions_;
+    return channel;
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Another thread compiled the same spec while we were unlocked.
+    if (it->second.channel->spec() == spec) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return it->second.channel;
+    }
+    ++collisions_;
+    return channel;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{channel, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return channel;
+}
+
+std::shared_ptr<const CompiledChannel> PlanCache::peek(
+    const ChannelSpec& spec) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(spec.content_hash());
+  if (it == entries_.end() || !(it->second.channel->spec() == spec)) {
+    return nullptr;
+  }
+  return it->second.channel;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.collisions = collisions_;
+  stats.size = entries_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace rfade::service

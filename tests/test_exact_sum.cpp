@@ -1,0 +1,240 @@
+// Tests for the ExactSum superaccumulator and the shard-mergeable
+// service accumulators built on it: exactness, order/shard invariance,
+// bit-identical merges, and the error taxonomy of the failure paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "rfade/numeric/matrix.hpp"
+#include "rfade/service/accumulators.hpp"
+#include "rfade/support/exact_sum.hpp"
+
+namespace {
+
+using namespace rfade;
+using support::ExactSum;
+
+std::vector<double> mixed_magnitude_values(std::size_t count,
+                                           unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> mantissa(-1.0, 1.0);
+  std::uniform_int_distribution<int> exponent(-300, 300);
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(std::ldexp(mantissa(rng), exponent(rng)));
+  }
+  return values;
+}
+
+TEST(ExactSum, EmptyIsZero) {
+  const ExactSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+TEST(ExactSum, SimpleSumsAreExact) {
+  ExactSum sum;
+  sum.add(0.25);
+  sum.add(0.5);
+  sum.add(-0.125);
+  EXPECT_EQ(sum.value(), 0.625);
+  EXPECT_EQ(sum.count(), 3u);
+}
+
+TEST(ExactSum, CatastrophicCancellationIsExact) {
+  // Naive double accumulation loses the 1.0 entirely: 1e300 + 1 == 1e300.
+  ExactSum sum;
+  sum.add(1e300);
+  sum.add(1.0);
+  sum.add(-1e300);
+  EXPECT_EQ(sum.value(), 1.0);
+}
+
+TEST(ExactSum, TinyValuesSurviveHugeIntermediates) {
+  ExactSum sum;
+  sum.add(1e-300);
+  sum.add(1e280);
+  sum.add(-1e280);
+  EXPECT_EQ(sum.value(), 1e-300);
+}
+
+TEST(ExactSum, SubnormalsAccumulateExactly) {
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  ExactSum sum;
+  for (int i = 0; i < 7; ++i) {
+    sum.add(tiny);
+  }
+  EXPECT_EQ(sum.value(), 7.0 * tiny);
+}
+
+TEST(ExactSum, OrderInvariantToTheBit) {
+  const auto values = mixed_magnitude_values(5000, 12345);
+  ExactSum forward;
+  for (const double v : values) {
+    forward.add(v);
+  }
+  auto shuffled = values;
+  std::mt19937_64 rng(999);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  ExactSum reordered;
+  for (const double v : shuffled) {
+    reordered.add(v);
+  }
+  EXPECT_EQ(forward.value(), reordered.value());
+}
+
+TEST(ExactSum, MergeEqualsSingleAccumulatorExactly) {
+  const auto values = mixed_magnitude_values(4096, 777);
+  ExactSum single;
+  for (const double v : values) {
+    single.add(v);
+  }
+  // Any sharding, merged in any order, is bit-identical.
+  for (const std::size_t split : {std::size_t{1}, std::size_t{1000},
+                                  std::size_t{4095}}) {
+    ExactSum a;
+    ExactSum b;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (i < split ? a : b).add(values[i]);
+    }
+    ExactSum ab = a;
+    ab.merge(b);
+    ExactSum ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.value(), single.value());
+    EXPECT_EQ(ba.value(), single.value());
+    EXPECT_EQ(ab.count(), single.count());
+  }
+}
+
+TEST(ExactSum, ManyAddsCrossNormalizationCadence) {
+  // More adds than kNormalizeEvery, all equal: total must stay exact.
+  const std::size_t n = (1u << 20) + 123;
+  ExactSum sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum.add(0.5);
+  }
+  EXPECT_EQ(sum.value(), 0.5 * static_cast<double>(n));
+}
+
+TEST(ExactSum, RejectsNonFinite) {
+  ExactSum sum;
+  EXPECT_THROW(sum.add(std::numeric_limits<double>::infinity()), ValueError);
+  EXPECT_THROW(sum.add(std::numeric_limits<double>::quiet_NaN()), ValueError);
+}
+
+TEST(ExactSum, ResetClearsState) {
+  ExactSum sum;
+  sum.add(3.0);
+  sum.reset();
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+// --- service accumulators ---------------------------------------------------
+
+numeric::CMatrix random_block(std::size_t rows, std::size_t cols,
+                              unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  numeric::CMatrix block(rows, cols);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block.data()[i] = numeric::cdouble(normal(rng), normal(rng));
+  }
+  return block;
+}
+
+TEST(EnvelopeMomentAccumulator, ShardedMergeIsBitExact) {
+  const std::size_t n = 3;
+  std::vector<numeric::CMatrix> blocks;
+  for (unsigned b = 0; b < 4; ++b) {
+    blocks.push_back(random_block(128, n, 100 + b));
+  }
+
+  service::EnvelopeMomentAccumulator single(n);
+  for (const auto& block : blocks) {
+    single.accumulate(block);
+  }
+
+  service::EnvelopeMomentAccumulator shard_a(n);
+  service::EnvelopeMomentAccumulator shard_b(n);
+  shard_a.accumulate(blocks[0]);
+  shard_a.accumulate(blocks[1]);
+  shard_b.accumulate(blocks[2]);
+  shard_b.accumulate(blocks[3]);
+  shard_a.merge(shard_b);
+
+  EXPECT_EQ(shard_a.count(), single.count());
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto merged = shard_a.finalize(j);
+    const auto direct = single.finalize(j);
+    EXPECT_EQ(merged.mean, direct.mean);
+    EXPECT_EQ(merged.second_moment, direct.second_moment);
+    EXPECT_EQ(merged.fourth_moment, direct.fourth_moment);
+    EXPECT_EQ(merged.variance, direct.variance);
+    EXPECT_EQ(merged.amount_of_fading, direct.amount_of_fading);
+  }
+}
+
+TEST(EnvelopeMomentAccumulator, MomentsMatchNaiveSums) {
+  const auto block = random_block(64, 2, 7);
+  service::EnvelopeMomentAccumulator acc(2);
+  acc.accumulate(block);
+  const auto moments = acc.finalize(0);
+  double sum_r = 0.0;
+  for (std::size_t t = 0; t < block.rows(); ++t) {
+    sum_r += std::abs(block(t, 0));
+  }
+  EXPECT_NEAR(moments.mean, sum_r / 64.0, 1e-12);
+  EXPECT_GT(moments.second_moment, 0.0);
+}
+
+TEST(EnvelopeMomentAccumulator, Rejections) {
+  service::EnvelopeMomentAccumulator acc(2);
+  EXPECT_THROW(acc.accumulate(random_block(4, 3, 1)), ContractViolation);
+  EXPECT_THROW(acc.finalize(0), ValueError);
+  service::EnvelopeMomentAccumulator other(3);
+  EXPECT_THROW(acc.merge(other), DimensionError);
+  EXPECT_THROW(service::EnvelopeMomentAccumulator(0), ContractViolation);
+}
+
+TEST(ComplexCovarianceAccumulator, ShardedMergeIsBitExact) {
+  const std::size_t n = 3;
+  std::vector<numeric::CMatrix> blocks;
+  for (unsigned b = 0; b < 3; ++b) {
+    blocks.push_back(random_block(96, n, 200 + b));
+  }
+  service::ComplexCovarianceAccumulator single(n);
+  for (const auto& block : blocks) {
+    single.accumulate(block);
+  }
+  service::ComplexCovarianceAccumulator shard_a(n);
+  service::ComplexCovarianceAccumulator shard_b(n);
+  shard_a.accumulate(blocks[0]);
+  shard_b.accumulate(blocks[1]);
+  shard_b.accumulate(blocks[2]);
+  shard_b.merge(shard_a);  // merge order must not matter
+
+  const numeric::CMatrix merged = shard_b.finalize();
+  const numeric::CMatrix direct = single.finalize();
+  ASSERT_EQ(merged.rows(), direct.rows());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.data()[i].real(), direct.data()[i].real());
+    EXPECT_EQ(merged.data()[i].imag(), direct.data()[i].imag());
+  }
+}
+
+TEST(ComplexCovarianceAccumulator, Rejections) {
+  service::ComplexCovarianceAccumulator acc(2);
+  EXPECT_THROW(acc.finalize(), ValueError);
+  service::ComplexCovarianceAccumulator other(4);
+  EXPECT_THROW(acc.merge(other), DimensionError);
+}
+
+}  // namespace
