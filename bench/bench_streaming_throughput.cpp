@@ -15,12 +15,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <chrono>
-#include <vector>
+#include <cstdint>
 
 #include "rfade/core/fading_stream.hpp"
 #include "rfade/numeric/matrix.hpp"
+#include "rfade/telemetry/instruments.hpp"
 
 using namespace rfade;
 using numeric::cdouble;
@@ -39,14 +39,6 @@ CMatrix tridiagonal_covariance(std::size_t n) {
   return k;
 }
 
-/// Nearest-rank percentile of an unsorted latency sample (sorts a copy).
-double percentile_us(std::vector<double> latencies, double q) {
-  std::sort(latencies.begin(), latencies.end());
-  const auto n = latencies.size();
-  const auto rank = static_cast<std::size_t>(q * static_cast<double>(n - 1));
-  return latencies[rank];
-}
-
 void run_backend(benchmark::State& state, doppler::StreamBackend backend) {
   const auto m = static_cast<std::size_t>(state.range(0));
   core::FadingStreamOptions options;
@@ -55,31 +47,34 @@ void run_backend(benchmark::State& state, doppler::StreamBackend backend) {
   options.normalized_doppler = 0.05;
   options.seed = 0x57E0;
   core::FadingStream stream(tridiagonal_covariance(kBranches), options);
-  // Per-block wall latencies, for the tail-latency counters below.  The
-  // two steady_clock reads cost tens of ns against blocks of >= 100 us,
-  // and the benchmark's own timing is untouched (no UseManualTime) — the
+  // Per-block wall latencies, recorded straight into the mergeable
+  // telemetry histogram (3.1% worst-case bucket quantization, exact
+  // max) instead of an unbounded sample vector.  The two steady_clock
+  // reads cost tens of ns against blocks of >= 100 us, and the
+  // benchmark's own timing is untouched (no UseManualTime) — the
   // mean-throughput entries the regression gate consumes are unaffected.
-  std::vector<double> latencies;
+  telemetry::LatencyHistogram latency;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
     const CMatrix z = stream.next_block();
     benchmark::DoNotOptimize(z.data());
     const auto t1 = std::chrono::steady_clock::now();
-    latencies.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(stream.block_size()) *
                           static_cast<std::int64_t>(kBranches));
-  if (!latencies.empty()) {
+  if (latency.count() > 0) {
     // Real-time emitters care about the per-block tail, not just the
     // mean: a backend that amortises well but hiccups misses deadlines.
     // Counters carry no items_per_second, so check_regression.py keeps
     // gating only the mean-ratio entries.
-    state.counters["p50_block_us"] = percentile_us(latencies, 0.50);
-    state.counters["p99_block_us"] = percentile_us(latencies, 0.99);
-    state.counters["max_block_us"] =
-        *std::max_element(latencies.begin(), latencies.end());
+    const telemetry::HistogramSnapshot snap = latency.snapshot();
+    state.counters["p50_block_us"] = snap.quantile(0.50) / 1e3;
+    state.counters["p99_block_us"] = snap.quantile(0.99) / 1e3;
+    state.counters["max_block_us"] = static_cast<double>(snap.max) / 1e3;
   }
   state.SetLabel(doppler::stream_backend_name(backend));
 }

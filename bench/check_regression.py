@@ -110,10 +110,11 @@ def write_summary(path, rows, opts):
     (e.g. overlap-save costs 1.04x the independent backend per sample),
     so both columns are emitted.
     """
+    heading = opts.title or (f"Bench gate: vs `{opts.reference}`"
+                             if not opts.absolute else "Bench gate (absolute)")
     try:
         with open(path, "a") as f:
-            f.write(f"\n### Bench gate: vs `{opts.reference}`"
-                    if not opts.absolute else "\n### Bench gate (absolute)")
+            f.write(f"\n### {heading}")
             f.write(f" — pattern `{opts.pattern}`\n\n")
             if opts.absolute:
                 f.write("| benchmark | current | baseline | floor | |\n")
@@ -157,6 +158,10 @@ def main():
     parser.add_argument("--summary", default=None,
                         help="append a markdown table of the gated entries "
                              "to FILE (e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--title", default=None,
+                        help="heading for the --summary table (default "
+                             "derived from --reference) — lets multiple "
+                             "gates in one run stay distinguishable")
     opts = parser.parse_args()
 
     baseline_path = opts.baseline

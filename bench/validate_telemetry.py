@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate the telemetry exporters' output files.
+
+CI runs examples/telemetry_dashboard with --prom/--json/--trace and then
+points this script at the three files.  Checks, per format:
+
+  Prometheus text exposition (--prom)
+    * every non-comment line is `name value` or `name{labels} value`
+      with a parseable float value;
+    * every sample's metric family has a preceding `# TYPE` line, and
+      no family is declared twice;
+    * for each histogram family: the `_bucket` series is cumulative
+      (non-decreasing in file order), ends with le="+Inf", and the
+      +Inf count equals the `_count` sample.
+
+  JSON snapshot (--json)
+    * parses, with counters/gauges/histograms arrays;
+    * each histogram carries count/sum/min/max/mean/p50/p90/p99 and a
+      bucket list whose counts sum to `count`;
+    * quantiles are monotone: p50 <= p90 <= p99 <= max.
+
+  Chrome trace (--trace)
+    * parses, with a traceEvents array of complete events
+      (ph == "X", numeric ts/dur >= 0, pid/tid present).
+
+Exit status: 0 OK, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?'
+    r' (?P<value>[^ ]+)$')
+TYPE_RE = re.compile(
+    r'^# TYPE (?P<name>[A-Za-z_:][A-Za-z0-9_:]*)'
+    r' (?P<kind>counter|gauge|histogram)$')
+LE_RE = re.compile(r'le="(?P<le>[^"]+)"')
+
+errors = []
+
+
+def err(message):
+    errors.append(message)
+
+
+def family_of(name, kind_by_family):
+    """Strip the histogram sample suffix to find the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and kind_by_family.get(base) == "histogram":
+            return base
+    return name
+
+
+def check_prometheus(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    kind_by_family = {}
+    # histogram family -> {"series": {labels-minus-le: [counts...]},
+    #                      "inf": {...}, "count": {...}}
+    histograms = {}
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                if line.startswith("# TYPE"):
+                    err(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            if m.group("name") in kind_by_family:
+                err(f"{where}: duplicate TYPE for {m.group('name')}")
+            kind_by_family[m.group("name")] = m.group("kind")
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err(f"{where}: unparseable sample line: {line!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(f"{where}: non-numeric value: {line!r}")
+            continue
+        name = m.group("name")
+        family = family_of(name, kind_by_family)
+        if family not in kind_by_family:
+            err(f"{where}: sample {name} has no preceding # TYPE")
+            continue
+        if kind_by_family[family] != "histogram":
+            continue
+        h = histograms.setdefault(family, {"series": {}, "inf": {},
+                                           "count": {}})
+        labels = m.group("labels") or "{}"
+        le = LE_RE.search(labels)
+        # Key on the labels minus the le pair so the bucket lines collate
+        # with their _sum/_count (rfade label values never contain commas).
+        pairs = [p for p in labels[1:-1].split(",")
+                 if p and not p.startswith("le=")]
+        key = "{" + ",".join(pairs) + "}"
+        if name.endswith("_bucket"):
+            if le is None:
+                err(f"{where}: _bucket sample without an le label")
+            elif le.group("le") == "+Inf":
+                h["inf"][key] = value
+            else:
+                h["series"].setdefault(key, []).append(value)
+        elif name.endswith("_count"):
+            h["count"][key] = value
+
+    for family, h in sorted(histograms.items()):
+        for key in sorted(set(h["series"]) | set(h["inf"]) | set(h["count"])):
+            series = h["series"].get(key, [])
+            if any(b < a for a, b in zip(series, series[1:])):
+                err(f"{path}: {family}{key}: bucket series not cumulative: "
+                    f"{series}")
+            if key not in h["inf"]:
+                err(f"{path}: {family}{key}: no le=\"+Inf\" bucket")
+                continue
+            if series and series[-1] > h["inf"][key]:
+                err(f"{path}: {family}{key}: last bucket exceeds +Inf")
+            if key not in h["count"]:
+                err(f"{path}: {family}{key}: no _count sample")
+            elif h["inf"][key] != h["count"][key]:
+                err(f"{path}: {family}{key}: +Inf bucket "
+                    f"{h['inf'][key]} != _count {h['count'][key]}")
+    if not kind_by_family:
+        err(f"{path}: no metric families at all")
+    print(f"{path}: {len(kind_by_family)} families "
+          f"({len(histograms)} histograms)")
+
+
+def check_json_snapshot(path):
+    with open(path) as f:
+        try:
+            snapshot = json.load(f)
+        except json.JSONDecodeError as e:
+            err(f"{path}: invalid JSON: {e}")
+            return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), list):
+            err(f"{path}: missing {section} array")
+            return
+    for h in snapshot["histograms"]:
+        name = h.get("name", "?")
+        for field in ("count", "sum", "min", "max", "mean",
+                      "p50", "p90", "p99", "buckets"):
+            if field not in h:
+                err(f"{path}: histogram {name}: missing {field}")
+        bucket_total = sum(b.get("count", 0) for b in h.get("buckets", []))
+        if bucket_total != h.get("count"):
+            err(f"{path}: histogram {name}: bucket counts sum to "
+                f"{bucket_total}, count says {h.get('count')}")
+        quantiles = [h.get("p50", 0), h.get("p90", 0), h.get("p99", 0),
+                     h.get("max", 0)]
+        if quantiles != sorted(quantiles):
+            err(f"{path}: histogram {name}: non-monotone quantiles "
+                f"{quantiles}")
+    print(f"{path}: {len(snapshot['counters'])} counters, "
+          f"{len(snapshot['gauges'])} gauges, "
+          f"{len(snapshot['histograms'])} histograms")
+
+
+def check_trace(path):
+    with open(path) as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            err(f"{path}: invalid JSON: {e}")
+            return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        err(f"{path}: no traceEvents array")
+        return
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if event.get("ph") != "X":
+            err(f"{where}: ph is {event.get('ph')!r}, want complete 'X'")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            err(f"{where}: missing name")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                err(f"{where}: bad {field}: {value!r}")
+        for field in ("pid", "tid"):
+            if field not in event:
+                err(f"{where}: missing {field}")
+    print(f"{path}: {len(events)} trace events")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prom", help="Prometheus text exposition file")
+    parser.add_argument("--json", help="JSON snapshot file")
+    parser.add_argument("--trace", help="Chrome trace JSON file")
+    opts = parser.parse_args()
+    if not (opts.prom or opts.json or opts.trace):
+        parser.error("nothing to validate: pass --prom/--json/--trace")
+    try:
+        if opts.prom:
+            check_prometheus(opts.prom)
+        if opts.json:
+            check_json_snapshot(opts.json)
+        if opts.trace:
+            check_trace(opts.trace)
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if errors:
+        print(f"\n{len(errors)} telemetry validation failures:",
+              file=sys.stderr)
+        for message in errors:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print("\nall telemetry outputs validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@
 #include "rfade/doppler/branch_source.hpp"
 #include "rfade/numeric/matrix.hpp"
 #include "rfade/random/rng.hpp"
+#include "rfade/telemetry/instruments.hpp"
 
 namespace rfade::core {
 
@@ -246,6 +247,14 @@ class FadingStream {
   /// options.batched_fill, or the non-power-of-two fallback opt out).
   std::unique_ptr<doppler::OverlapSaveBatch> batch_;
   std::uint64_t next_block_ = 0;
+  /// Per-backend latency instruments on the telemetry registry
+  /// (rfade_stream_block_fill_ns / rfade_stream_seek_ns, labelled
+  /// backend="...").  Null when telemetry is compiled out; recording is
+  /// further gated on telemetry::enabled(), so the idle cost per block
+  /// is one relaxed load and a never-taken branch — no clock reads on
+  /// the real-time hot loop.
+  std::shared_ptr<telemetry::LatencyHistogram> block_histogram_;
+  std::shared_ptr<telemetry::LatencyHistogram> seek_histogram_;
 };
 
 }  // namespace rfade::core

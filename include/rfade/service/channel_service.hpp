@@ -20,6 +20,13 @@
 /// what the batcher fans out over the global thread pool, so a thousand
 /// tenants pulling one block each cost one parallel sweep, not a
 /// thousand sequential engine hops.
+///
+/// Observability (recorded only when telemetry::enabled()):
+/// rfade_session_next_block_ns latency histogram over every cursor pull,
+/// rfade_session_seeks_total / rfade_sessions_opened_total counters, and
+/// the rfade_batcher_sweep_width histogram of requests coalesced per
+/// generate_blocks sweep; next_block and the batcher also open trace
+/// spans when the Tracer is enabled.
 
 #include <cstdint>
 #include <memory>
@@ -72,8 +79,9 @@ class Session {
   [[nodiscard]] numeric::RMatrix next_envelope_block();
 
   /// Reposition the timeline: the next next_block() returns block
-  /// \p block_index.  O(1) — blocks are keyed, never replayed.
-  void seek(std::uint64_t block_index) noexcept { cursor_ = block_index; }
+  /// \p block_index.  O(1) — blocks are keyed, never replayed.  Counted
+  /// on the telemetry registry (rfade_session_seeks_total).
+  void seek(std::uint64_t block_index) noexcept;
 
   /// Block \p block_index of this tenant's timeline, cursor untouched.
   /// Const and thread-safe: the batcher's fan-out hook.

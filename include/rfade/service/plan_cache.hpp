@@ -17,6 +17,16 @@
 /// (same hash, different content) is compiled fresh and returned WITHOUT
 /// caching — correctness is never sacrificed to the cache, and the
 /// resident entry keeps serving its own spec.
+///
+/// Observability: the hit/miss/eviction/collision counters live on the
+/// telemetry registry as rfade_plan_cache_{hits,misses,evictions,
+/// collisions}_total, labelled cache="<instance>", so operators scrape
+/// them through the Prometheus/JSON exporters.  stats() remains the
+/// bit-compatible in-process view over those same counters.  Because
+/// stats() is API (tests and benches assert exact values), these
+/// counters always count — they are per-operation on a cold path, not
+/// per-sample — regardless of telemetry::enabled(); compiling telemetry
+/// out (RFADE_TELEMETRY=0) only skips the registry registration.
 
 #include <cstdint>
 #include <list>
@@ -25,6 +35,7 @@
 #include <unordered_map>
 
 #include "rfade/service/channel_spec.hpp"
+#include "rfade/telemetry/registry.hpp"
 
 namespace rfade::service {
 
@@ -84,10 +95,12 @@ class PlanCache {
   mutable std::mutex mutex_;
   std::list<std::uint64_t> lru_;  ///< front = most recent
   std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t collisions_ = 0;
+  /// Registry-hosted counters (see file comment); private instruments
+  /// when telemetry is compiled out.
+  std::shared_ptr<telemetry::Counter> hits_;
+  std::shared_ptr<telemetry::Counter> misses_;
+  std::shared_ptr<telemetry::Counter> evictions_;
+  std::shared_ptr<telemetry::Counter> collisions_;
 };
 
 }  // namespace rfade::service

@@ -46,6 +46,7 @@ class ThreadPool {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([packaged]() { (*packaged)(); });
+      note_enqueued(queue_.size());
     }
     wake_.notify_one();
     return result;
@@ -65,6 +66,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// Telemetry taps (rfade_thread_pool_queue_depth gauge +
+  /// rfade_thread_pool_tasks_total counter), called with mutex_ held;
+  /// no-ops unless telemetry is compiled in and enabled.
+  void note_enqueued(std::size_t depth) noexcept;
+  void note_dequeued(std::size_t depth) noexcept;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file export.hpp
+/// \brief Registry exporters: Prometheus text exposition and a JSON
+///        snapshot.
+///
+/// Both walk the registry's sorted entries, so output is deterministic
+/// for a quiesced process.  Histograms export in the native Prometheus
+/// histogram shape (cumulative `_bucket{le="..."}` series ending at
+/// `le="+Inf"`, plus `_sum` and `_count`); only occupied buckets are
+/// emitted, which keeps a 1920-bucket instrument to a handful of lines.
+/// The JSON snapshot adds the derived read-side values (min/max/mean,
+/// p50/p90/p99) that a dashboard would otherwise recompute.
+
+#include <string>
+
+#include "rfade/telemetry/registry.hpp"
+
+namespace rfade::telemetry {
+
+/// Prometheus text exposition (version 0.0.4) of every instrument in
+/// \p registry — serve it at /metrics or dump it after a run.
+[[nodiscard]] std::string prometheus_text(
+    const Registry& registry = Registry::global());
+
+/// One JSON document with every counter, gauge and histogram (occupied
+/// buckets, count/sum/min/max, p50/p90/p99).
+[[nodiscard]] std::string json_snapshot(
+    const Registry& registry = Registry::global());
+
+}  // namespace rfade::telemetry

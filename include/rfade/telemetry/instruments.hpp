@@ -1,0 +1,312 @@
+#pragma once
+
+/// \file instruments.hpp
+/// \brief Telemetry instruments: sharded Counter, Gauge, and the
+///        mergeable log-bucketed LatencyHistogram.
+///
+/// Design rules, in priority order:
+///
+///   1. The record path is wait-free and contention-shy.  Counters shard
+///      across cache lines by thread so concurrent add() never ping-pongs
+///      a line; histogram recording is a handful of relaxed fetch_adds on
+///      a fixed bucket array.
+///   2. Every instrument is shard-mergeable with an order-invariant
+///      merge(): bucket counts, counts and sums are commuting integer
+///      adds, min/max commute by definition — so K per-shard instruments
+///      merge to the single-run instrument bucket-for-bucket, the same
+///      contract support::ExactSum pins for the moment accumulators.
+///      This is what makes the instruments wire-shippable for the
+///      ROADMAP's cross-process driver: ship the bucket array, add.
+///   3. When telemetry is compiled out (RFADE_TELEMETRY=0) or idle
+///      (set_enabled(false)), instrumented hot paths pay at most one
+///      relaxed load and a never-taken branch per block — no clock reads,
+///      no stores (ScopedTimer below is the disabled-mode fast path).
+///
+/// RFADE_TELEMETRY is normally injected by CMake (option RFADE_TELEMETRY,
+/// default ON); compiling the headers without it keeps telemetry in.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifndef RFADE_TELEMETRY
+#define RFADE_TELEMETRY 1
+#endif
+
+namespace rfade::telemetry {
+
+/// True when the instrumentation is compiled into the hot paths.
+inline constexpr bool kCompiledIn = RFADE_TELEMETRY != 0;
+
+/// Runtime recording switch, default off: instrumented paths record only
+/// when telemetry is compiled in AND an operator opted in.  The one
+/// exception is the PlanCache API counters, which always count because
+/// PlanCache::stats() must stay exact (see plan_cache.hpp).
+inline std::atomic<bool> g_enabled{false};
+
+/// True when instrumented paths should record (one relaxed load).
+[[nodiscard]] inline bool enabled() noexcept {
+  return kCompiledIn && g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn recording on or off (no-op when compiled out).
+inline void set_enabled(bool on) noexcept {
+  g_enabled.store(on && kCompiledIn, std::memory_order_relaxed);
+}
+
+/// Monotonic nanosecond clock shared by all latency instruments.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Small dense per-thread index in first-use order — spreads counter
+/// shards and names trace rows without hashing thread::id.
+[[nodiscard]] std::size_t thread_index() noexcept;
+
+/// Monotonic counter sharded across cache lines: add() touches only the
+/// calling thread's shard, value() sums the shards.  Sixteen shards cover
+/// the pool sizes rfade runs at; two threads landing on one shard still
+/// only contend that line, never the whole counter.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static_assert((kShards & (kShards - 1)) == 0, "shard mask needs a pow2");
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_index() & (kShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (relaxed; exact once writers quiesce).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Fold \p other into this counter shard-by-shard (order-invariant).
+  void merge(const Counter& other) noexcept {
+    for (std::size_t i = 0; i < kShards; ++i) {
+      shards_[i].value.fetch_add(
+          other.shards_[i].value.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depths, occupancy).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-side copy of a LatencyHistogram (plain integers, no atomics).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;
+
+  /// Nearest-rank quantile, exact to the bucket: the representative
+  /// (midpoint) of the bucket holding rank ceil(q * count).  Sub-bucket
+  /// resolution is 2^-kSubBits of the value, so p50/p90/p99 land within
+  /// ~1.6% of the true order statistic.  0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// HDR-style log-bucketed histogram of non-negative 64-bit values
+/// (latencies in ns, sweep widths, queue depths).
+///
+/// Bucket layout (fixed, identical for every instance — merge needs no
+/// negotiation): values < 32 get exact unit buckets; above that, each
+/// power-of-two octave splits into 2^kSubBits = 32 linear sub-buckets,
+/// bounding the relative quantization error by 1/32 ~ 3.1% (half that at
+/// the midpoint representative).  1920 buckets cover the full uint64
+/// range in 15 KiB.
+///
+/// record() is wait-free (relaxed fetch_adds) except for the min/max
+/// update, a bounded CAS that almost always hits on the first try.
+/// merge() adds bucket-for-bucket and is order- and shard-invariant:
+/// merging K shard histograms equals the single-run histogram exactly.
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::size_t kLinear = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 1) * kLinear;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Bucket of \p value: identity below kLinear, then
+  /// (octave, top kSubBits mantissa bits).
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t value) noexcept {
+    if (value < kLinear) {
+      return static_cast<std::size_t>(value);
+    }
+    const unsigned exp = static_cast<unsigned>(std::bit_width(value)) - 1;
+    const auto mantissa = static_cast<std::size_t>(
+        (value >> (exp - kSubBits)) & (kLinear - 1));
+    return ((static_cast<std::size_t>(exp) - kSubBits + 1) << kSubBits) +
+           mantissa;
+  }
+
+  /// Smallest value mapping to bucket \p index.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(
+      std::size_t index) noexcept {
+    const std::size_t group = index >> kSubBits;
+    if (group == 0) {
+      return index;
+    }
+    const std::uint64_t mantissa = index & (kLinear - 1);
+    return (kLinear + mantissa) << (group - 1);
+  }
+
+  /// Number of distinct values mapping to bucket \p index.
+  [[nodiscard]] static constexpr std::uint64_t bucket_width(
+      std::size_t index) noexcept {
+    const std::size_t group = index >> kSubBits;
+    return group == 0 ? 1 : std::uint64_t{1} << (group - 1);
+  }
+
+  /// Largest value mapping to bucket \p index (the Prometheus `le`).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t index) noexcept {
+    return bucket_lower(index) + bucket_width(index) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Exact largest recorded value (0 when empty).
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// Exact smallest recorded value (0 when empty).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    const std::uint64_t value = min_.load(std::memory_order_relaxed);
+    return value == kEmptyMin ? 0 : value;
+  }
+
+  /// Fold \p other into this histogram bucket-for-bucket (see class
+  /// comment; order- and shard-invariant).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Plain-integer copy for queries (exact once writers quiesce).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// snapshot().quantile(q) without keeping the snapshot.
+  [[nodiscard]] double quantile(double q) const { return snapshot().quantile(q); }
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+};
+
+/// RAII latency recorder for instrumented paths: records the scope's
+/// duration into \p histogram, or does nothing at all (no clock reads)
+/// when the histogram is null or telemetry is idle — the disabled-mode
+/// fast path costs one relaxed load and a never-taken branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram) noexcept
+      : histogram_(histogram != nullptr && enabled() ? histogram : nullptr),
+        start_ns_(histogram_ != nullptr ? now_ns() : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->record(now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+/// record() gated the same way ScopedTimer is, for non-duration values
+/// (sweep widths, sizes).
+inline void record_if_enabled(LatencyHistogram* histogram,
+                              std::uint64_t value) noexcept {
+  if (histogram != nullptr && enabled()) {
+    histogram->record(value);
+  }
+}
+
+}  // namespace rfade::telemetry

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief Named-instrument registry: the process-wide scrape surface.
+///
+/// Instruments are identified by (name, labels) where labels is a
+/// pre-formatted Prometheus label body such as `backend="overlap-save"`
+/// (see telemetry::label).  Lookup is mutex-guarded and intended to run
+/// once per instrumented object (constructors, function-local statics);
+/// hot paths hold the returned shared_ptr and never touch the registry
+/// again.  Instruments are shared: two callers asking for the same
+/// (name, labels) get the same instrument, and the registry keeps every
+/// instrument alive for exporters even after its registrant dies (the
+/// values are monotonic, so a late scrape still reads truth).
+///
+/// Exporters (export.hpp) iterate the sorted entries, so exposition
+/// output is deterministic.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rfade/telemetry/instruments.hpp"
+
+namespace rfade::telemetry {
+
+/// `key="value"` — one Prometheus label pair; join with commas for more.
+[[nodiscard]] std::string label(std::string_view key, std::string_view value);
+
+/// One named counter row as exporters see it.
+struct CounterEntry {
+  std::string name;
+  std::string labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeEntry {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+struct HistogramEntry {
+  std::string name;
+  std::string labels;
+  std::shared_ptr<const LatencyHistogram> histogram;
+};
+
+/// Registry of named instruments (see file comment).  Separate instances
+/// are fully independent — tests use local registries; the library's
+/// instrumented paths use global().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in instrument registers with.
+  static Registry& global();
+
+  /// The instrument named (\p name, \p labels), created on first use.
+  [[nodiscard]] std::shared_ptr<Counter> counter(const std::string& name,
+                                                 const std::string& labels = {});
+  [[nodiscard]] std::shared_ptr<Gauge> gauge(const std::string& name,
+                                             const std::string& labels = {});
+  [[nodiscard]] std::shared_ptr<LatencyHistogram> histogram(
+      const std::string& name, const std::string& labels = {});
+
+  /// Sorted snapshots of every registered instrument (name, then labels).
+  [[nodiscard]] std::vector<CounterEntry> counters() const;
+  [[nodiscard]] std::vector<GaugeEntry> gauges() const;
+  [[nodiscard]] std::vector<HistogramEntry> histograms() const;
+
+  /// Drop every instrument (test isolation; outstanding shared_ptrs stay
+  /// valid but orphaned).
+  void clear();
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<Counter>> counters_;
+  std::map<Key, std::shared_ptr<Gauge>> gauges_;
+  std::map<Key, std::shared_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace rfade::telemetry

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// \brief Umbrella header for the telemetry subsystem: instruments
+///        (Counter/Gauge/LatencyHistogram/ScopedTimer), the named
+///        Registry, trace Spans, and the Prometheus/JSON exporters.
+///
+/// Quick start:
+///
+///   rfade::telemetry::set_enabled(true);            // metrics opt-in
+///   rfade::telemetry::Tracer::global().set_enabled(true);  // traces
+///   ... run the serving / streaming workload ...
+///   std::cout << rfade::telemetry::prometheus_text();
+///   write_file("trace.json",
+///              rfade::telemetry::Tracer::global().chrome_trace_json());
+///
+/// Compile out every hot-path instrument with -DRFADE_TELEMETRY=OFF
+/// (CMake) — the API keeps compiling, instruments simply never register
+/// or record.
+
+#include "rfade/telemetry/export.hpp"
+#include "rfade/telemetry/instruments.hpp"
+#include "rfade/telemetry/registry.hpp"
+#include "rfade/telemetry/trace.hpp"

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief RAII trace spans and the Chrome trace-event sink.
+///
+/// Span is the instrumentation primitive: construct at scope entry,
+/// destruction records one complete ("ph":"X") event — name, dense
+/// thread row, start timestamp and duration — into the global Tracer.
+/// Nesting falls out of scoping: a child span's [ts, ts+dur] interval
+/// lies inside its parent's on the same thread row, which is exactly how
+/// chrome://tracing and Perfetto reconstruct the flame graph.
+///
+/// Tracing is off by default.  A disabled Span costs one relaxed load
+/// and never reads the clock, so spans are safe on per-block paths; an
+/// enabled Span appends to a bounded mutex-guarded buffer (events beyond
+/// the capacity are counted as dropped, never reallocated unboundedly).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfade/telemetry/instruments.hpp"
+
+namespace rfade::telemetry {
+
+/// One complete trace event (Chrome trace-event "X" phase).
+struct TraceEvent {
+  std::string name;
+  std::size_t thread = 0;  ///< dense telemetry::thread_index row
+  double ts_us = 0.0;      ///< start, microseconds since the tracer epoch
+  double dur_us = 0.0;
+};
+
+/// Bounded process-wide trace-event sink (see file comment).
+class Tracer {
+ public:
+  Tracer() : epoch_ns_(now_ns()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  /// Turn span recording on or off (no-op when telemetry is compiled
+  /// out); independent of telemetry::set_enabled so metrics can run
+  /// without paying for traces.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on && kCompiledIn, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event; beyond capacity() the event is dropped and
+  /// counted instead.
+  void record(TraceEvent event);
+
+  /// Event-buffer cap (default 65536); shrinking does not drop resident
+  /// events.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop all resident events and the dropped count.
+  void clear();
+
+  /// Nanosecond timestamp of this tracer's t = 0.
+  [[nodiscard]] std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  /// The resident events as a Chrome trace-event JSON document
+  /// (`{"traceEvents": [...], ...}`) — load it in chrome://tracing,
+  /// Perfetto, or speedscope.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 1 << 16;
+  std::uint64_t epoch_ns_;
+};
+
+/// RAII span over the global tracer (see file comment).  \p name must
+/// outlive the span — string literals only.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(Tracer::global().enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? now_ns() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span();
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace rfade::telemetry

@@ -7,6 +7,7 @@
 #include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/parallel.hpp"
+#include "rfade/telemetry/registry.hpp"
 
 namespace rfade::core {
 
@@ -42,6 +43,15 @@ FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
       options.variance_handling == VarianceHandling::AnalyticCorrection
           ? design_->output_variance()
           : 2.0 * options.input_variance_per_dim;
+  if constexpr (telemetry::kCompiledIn) {
+    const std::string backend_label = telemetry::label(
+        "backend", doppler::stream_backend_name(options.backend));
+    telemetry::Registry& registry = telemetry::Registry::global();
+    block_histogram_ =
+        registry.histogram("rfade_stream_block_fill_ns", backend_label);
+    seek_histogram_ =
+        registry.histogram("rfade_stream_seek_ns", backend_label);
+  }
   sources_ = make_sources(seed_);
   if (options.batched_fill && pipeline_.dimension() > 0 &&
       doppler::OverlapSaveBatch::supports(*design_)) {
@@ -136,6 +146,7 @@ void FadingStream::replay(SourceList& sources, std::uint64_t seed,
 }
 
 numeric::CMatrix FadingStream::next_block() {
+  const telemetry::ScopedTimer timer(block_histogram_.get());
   random::Rng rng = random::block_substream(seed_, next_block_);
   numeric::CMatrix z =
       emit(sources_, rng, next_block_, next_instant(), batch_.get());
@@ -148,6 +159,7 @@ numeric::RMatrix FadingStream::next_envelope_block() {
 }
 
 void FadingStream::seek(std::uint64_t block_index) {
+  const telemetry::ScopedTimer timer(seek_histogram_.get());
   for (auto& source : sources_) {
     source->reset();
   }

@@ -6,6 +6,7 @@
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/error.hpp"
 #include "rfade/support/parallel.hpp"
+#include "rfade/telemetry/telemetry.hpp"
 
 namespace rfade::service {
 
@@ -19,12 +20,55 @@ numeric::RMatrix envelopes_of(const numeric::CMatrix& block) {
   return envelopes;
 }
 
+// Serving-layer instruments, interned once on first use; null when
+// telemetry is compiled out so every record site degrades to a
+// never-taken branch.
+telemetry::LatencyHistogram* session_block_histogram() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::LatencyHistogram> histogram =
+      telemetry::Registry::global().histogram("rfade_session_next_block_ns");
+  return histogram.get();
+}
+
+telemetry::LatencyHistogram* batcher_width_histogram() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::LatencyHistogram> histogram =
+      telemetry::Registry::global().histogram("rfade_batcher_sweep_width");
+  return histogram.get();
+}
+
+telemetry::Counter* session_seek_counter() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::Counter> counter =
+      telemetry::Registry::global().counter("rfade_session_seeks_total");
+  return counter.get();
+}
+
+telemetry::Counter* sessions_opened_counter() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::Counter> counter =
+      telemetry::Registry::global().counter("rfade_sessions_opened_total");
+  return counter.get();
+}
+
 }  // namespace
 
 Session::Session(std::shared_ptr<const CompiledChannel> channel,
                  std::uint64_t seed)
     : channel_(std::move(channel)), seed_(seed) {
   RFADE_EXPECTS(channel_ != nullptr, "Session needs a compiled channel");
+  if (telemetry::Counter* opened = sessions_opened_counter();
+      opened != nullptr && telemetry::enabled()) {
+    opened->add();
+  }
   if (channel_->mode() == EmissionMode::Stream) {
     // Per-seed engine instances: hosts of the const keyed
     // generate_block (their design work runs once per session).
@@ -37,15 +81,27 @@ Session::Session(std::shared_ptr<const CompiledChannel> channel,
 }
 
 numeric::CMatrix Session::next_block() {
+  const telemetry::Span span("Session::next_block");
+  const telemetry::ScopedTimer timer(session_block_histogram());
   numeric::CMatrix block = generate_block(cursor_);
   ++cursor_;
   return block;
 }
 
 numeric::RMatrix Session::next_envelope_block() {
+  const telemetry::Span span("Session::next_envelope_block");
+  const telemetry::ScopedTimer timer(session_block_histogram());
   numeric::RMatrix block = generate_envelope_block(cursor_);
   ++cursor_;
   return block;
+}
+
+void Session::seek(std::uint64_t block_index) noexcept {
+  if (telemetry::Counter* seeks = session_seek_counter();
+      seeks != nullptr && telemetry::enabled()) {
+    seeks->add();
+  }
+  cursor_ = block_index;
 }
 
 numeric::CMatrix Session::generate_block(std::uint64_t block_index) const {
@@ -91,6 +147,8 @@ ChannelService::ChannelService(std::size_t plan_cache_capacity)
 
 std::vector<numeric::CMatrix> ChannelService::generate_blocks(
     const std::vector<BlockRequest>& requests) {
+  const telemetry::Span span("ChannelService::generate_blocks");
+  telemetry::record_if_enabled(batcher_width_histogram(), requests.size());
   std::vector<numeric::CMatrix> blocks(requests.size());
   support::parallel_for_chunked(
       requests.size(),

@@ -7,6 +7,7 @@
 #include "rfade/random/xoshiro.hpp"
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/error.hpp"
+#include "rfade/telemetry/telemetry.hpp"
 
 namespace rfade::service {
 
@@ -584,7 +585,25 @@ ChannelSpec ChannelSpec::Builder::build() const {
 
 // --- CompiledChannel --------------------------------------------------------
 
+namespace {
+
+/// Compilation is the expensive cold phase (O(N^3) plan builds); its
+/// latency distribution is what capacity planning for cache misses
+/// needs.  Interned once; null when telemetry is compiled out.
+telemetry::LatencyHistogram* compile_histogram() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::LatencyHistogram> histogram =
+      telemetry::Registry::global().histogram("rfade_channel_compile_ns");
+  return histogram.get();
+}
+
+}  // namespace
+
 std::shared_ptr<const CompiledChannel> ChannelSpec::compile() const {
+  const telemetry::Span span("ChannelSpec::compile");
+  const telemetry::ScopedTimer timer(compile_histogram());
   return CompiledChannel::create(*this);
 }
 

@@ -1,13 +1,41 @@
 #include "rfade/service/plan_cache.hpp"
 
+#include <atomic>
+#include <string>
 #include <utility>
 
 #include "rfade/support/contracts.hpp"
 
 namespace rfade::service {
 
+namespace {
+
+/// Distinct label per cache instance, so two services' counters never
+/// alias on the shared registry.
+std::string next_cache_label() {
+  static std::atomic<std::uint64_t> next{0};
+  return telemetry::label(
+      "cache", std::to_string(next.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
   RFADE_EXPECTS(capacity >= 1, "PlanCache needs capacity >= 1");
+  if constexpr (telemetry::kCompiledIn) {
+    const std::string labels = next_cache_label();
+    telemetry::Registry& registry = telemetry::Registry::global();
+    hits_ = registry.counter("rfade_plan_cache_hits_total", labels);
+    misses_ = registry.counter("rfade_plan_cache_misses_total", labels);
+    evictions_ = registry.counter("rfade_plan_cache_evictions_total", labels);
+    collisions_ =
+        registry.counter("rfade_plan_cache_collisions_total", labels);
+  } else {
+    hits_ = std::make_shared<telemetry::Counter>();
+    misses_ = std::make_shared<telemetry::Counter>();
+    evictions_ = std::make_shared<telemetry::Counter>();
+    collisions_ = std::make_shared<telemetry::Counter>();
+  }
 }
 
 std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
@@ -19,7 +47,7 @@ std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (it->second.channel->spec() == spec) {
-        ++hits_;
+        hits_->add();
         lru_.splice(lru_.begin(), lru_, it->second.lru_position);
         return it->second.channel;
       }
@@ -31,11 +59,11 @@ std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
   std::shared_ptr<const CompiledChannel> channel = spec.compile();
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_->add();
   if (collision) {
     // Same hash, different content: serve fresh, never displace the
     // resident entry (see header collision policy).
-    ++collisions_;
+    collisions_->add();
     return channel;
   }
   const auto it = entries_.find(key);
@@ -45,7 +73,7 @@ std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
       return it->second.channel;
     }
-    ++collisions_;
+    collisions_->add();
     return channel;
   }
   lru_.push_front(key);
@@ -53,7 +81,7 @@ std::shared_ptr<const CompiledChannel> PlanCache::get_or_compile(
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
-    ++evictions_;
+    evictions_->add();
   }
   return channel;
 }
@@ -77,10 +105,10 @@ void PlanCache::clear() {
 PlanCacheStats PlanCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   PlanCacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.evictions = evictions_;
-  stats.collisions = collisions_;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.evictions = evictions_->value();
+  stats.collisions = collisions_->value();
   stats.size = entries_.size();
   stats.capacity = capacity_;
   return stats;

@@ -1,12 +1,56 @@
 #include "rfade/support/thread_pool.hpp"
 
+#include "rfade/telemetry/registry.hpp"
+
 namespace rfade::support {
 
 namespace {
 thread_local bool t_on_worker_thread = false;
+
+// Pool instruments: instantaneous queue occupancy plus the total task
+// count.  All pools share the instruments (rfade runs one global pool);
+// interned on first use, null when telemetry is compiled out.
+telemetry::Gauge* queue_depth_gauge() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::Gauge> gauge =
+      telemetry::Registry::global().gauge("rfade_thread_pool_queue_depth");
+  return gauge.get();
+}
+
+telemetry::Counter* tasks_counter() {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::Counter> counter =
+      telemetry::Registry::global().counter("rfade_thread_pool_tasks_total");
+  return counter.get();
+}
 }  // namespace
 
 bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
+void ThreadPool::note_enqueued(std::size_t depth) noexcept {
+  if (!telemetry::enabled()) {
+    return;
+  }
+  if (telemetry::Gauge* gauge = queue_depth_gauge()) {
+    gauge->set(static_cast<double>(depth));
+  }
+  if (telemetry::Counter* tasks = tasks_counter()) {
+    tasks->add();
+  }
+}
+
+void ThreadPool::note_dequeued(std::size_t depth) noexcept {
+  if (!telemetry::enabled()) {
+    return;
+  }
+  if (telemetry::Gauge* gauge = queue_depth_gauge()) {
+    gauge->set(static_cast<double>(depth));
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {
@@ -41,6 +85,7 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      note_dequeued(queue_.size());
     }
     task();  // exceptions are captured by the packaged_task
   }

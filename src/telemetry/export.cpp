@@ -1,0 +1,218 @@
+#include "rfade/telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rfade::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// `name{labels}` or bare `name`; \p extra_label (e.g. le="...") is
+/// appended after the instrument's own labels.
+void append_series(std::string& out, const std::string& name,
+                   const std::string& suffix, const std::string& labels,
+                   const std::string& extra_label = {}) {
+  out += name;
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) {
+      out += ',';
+    }
+    out += extra_label;
+    out += '}';
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  out += buffer;
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+/// `# TYPE` line, once per metric name (entries arrive name-sorted).
+void append_type(std::string& out, std::string& last_typed,
+                 const std::string& name, const char* type) {
+  if (name == last_typed) {
+    return;
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  last_typed = name;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+  std::string last_typed;
+
+  for (const CounterEntry& entry : registry.counters()) {
+    append_type(out, last_typed, entry.name, "counter");
+    append_series(out, entry.name, "", entry.labels);
+    out += ' ';
+    append_u64(out, entry.value);
+    out += '\n';
+  }
+
+  for (const GaugeEntry& entry : registry.gauges()) {
+    append_type(out, last_typed, entry.name, "gauge");
+    append_series(out, entry.name, "", entry.labels);
+    out += ' ';
+    append_double(out, entry.value);
+    out += '\n';
+  }
+
+  for (const HistogramEntry& entry : registry.histograms()) {
+    append_type(out, last_typed, entry.name, "histogram");
+    const HistogramSnapshot snap = entry.histogram->snapshot();
+    // Cumulative counts at occupied upper bounds only; le is the largest
+    // value the bucket admits, so the series is a valid (non-decreasing)
+    // Prometheus histogram even with the empty buckets elided.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) {
+        continue;
+      }
+      cumulative += snap.buckets[i];
+      std::string le = "le=\"";
+      char bound[24];
+      std::snprintf(bound, sizeof bound, "%" PRIu64,
+                    LatencyHistogram::bucket_upper(i));
+      le += bound;
+      le += '"';
+      append_series(out, entry.name, "_bucket", entry.labels, le);
+      out += ' ';
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    append_series(out, entry.name, "_bucket", entry.labels, "le=\"+Inf\"");
+    out += ' ';
+    append_u64(out, snap.count);
+    out += '\n';
+    append_series(out, entry.name, "_sum", entry.labels);
+    out += ' ';
+    append_u64(out, snap.sum);
+    out += '\n';
+    append_series(out, entry.name, "_count", entry.labels);
+    out += ' ';
+    append_u64(out, snap.count);
+    out += '\n';
+  }
+
+  return out;
+}
+
+std::string json_snapshot(const Registry& registry) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const CounterEntry& entry : registry.counters()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, entry.name);
+    out += "\",\"labels\":\"";
+    append_escaped(out, entry.labels);
+    out += "\",\"value\":";
+    append_u64(out, entry.value);
+    out += '}';
+  }
+
+  out += "],\"gauges\":[";
+  first = true;
+  for (const GaugeEntry& entry : registry.gauges()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, entry.name);
+    out += "\",\"labels\":\"";
+    append_escaped(out, entry.labels);
+    out += "\",\"value\":";
+    append_double(out, entry.value);
+    out += '}';
+  }
+
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramEntry& entry : registry.histograms()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    const HistogramSnapshot snap = entry.histogram->snapshot();
+    out += "{\"name\":\"";
+    append_escaped(out, entry.name);
+    out += "\",\"labels\":\"";
+    append_escaped(out, entry.labels);
+    out += "\",\"count\":";
+    append_u64(out, snap.count);
+    out += ",\"sum\":";
+    append_u64(out, snap.sum);
+    out += ",\"min\":";
+    append_u64(out, snap.min);
+    out += ",\"max\":";
+    append_u64(out, snap.max);
+    out += ",\"mean\":";
+    append_double(out, snap.mean());
+    out += ",\"p50\":";
+    append_double(out, snap.quantile(0.50));
+    out += ",\"p90\":";
+    append_double(out, snap.quantile(0.90));
+    out += ",\"p99\":";
+    append_double(out, snap.quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += "{\"le\":";
+      append_u64(out, LatencyHistogram::bucket_upper(i));
+      out += ",\"count\":";
+      append_u64(out, snap.buckets[i]);
+      out += '}';
+    }
+    out += "]}";
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace rfade::telemetry

@@ -1,0 +1,82 @@
+#include "rfade/telemetry/instruments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfade::telemetry {
+
+std::size_t thread_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen &&
+         !min_.compare_exchange_weak(seen, other_min,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min();
+  snap.max = max();
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The bucket midpoint halves the worst-case quantization error;
+      // the exact min/max clamp keeps every quantile inside the observed
+      // range (a midpoint can otherwise exceed max in a sparse bucket),
+      // so p50 <= p99 <= max always holds in exports.
+      const double midpoint =
+          static_cast<double>(LatencyHistogram::bucket_lower(i)) +
+          static_cast<double>(LatencyHistogram::bucket_width(i) - 1) / 2.0;
+      return std::min(std::max(midpoint, static_cast<double>(min)),
+                      static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);  // unreachable when counts are consistent
+}
+
+}  // namespace rfade::telemetry

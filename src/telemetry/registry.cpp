@@ -1,0 +1,89 @@
+#include "rfade/telemetry/registry.hpp"
+
+namespace rfade::telemetry {
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string formatted;
+  formatted.reserve(key.size() + value.size() + 3);
+  formatted.append(key);
+  formatted.append("=\"");
+  formatted.append(value);
+  formatted.push_back('"');
+  return formatted;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+/// Shared find-or-create over the three instrument maps.
+template <typename Instrument, typename Map>
+std::shared_ptr<Instrument> intern(std::mutex& mutex, Map& map,
+                                   const std::string& name,
+                                   const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = map.try_emplace({name, labels});
+  if (inserted) {
+    it->second = std::make_shared<Instrument>();
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::shared_ptr<Counter> Registry::counter(const std::string& name,
+                                           const std::string& labels) {
+  return intern<Counter>(mutex_, counters_, name, labels);
+}
+
+std::shared_ptr<Gauge> Registry::gauge(const std::string& name,
+                                       const std::string& labels) {
+  return intern<Gauge>(mutex_, gauges_, name, labels);
+}
+
+std::shared_ptr<LatencyHistogram> Registry::histogram(
+    const std::string& name, const std::string& labels) {
+  return intern<LatencyHistogram>(mutex_, histograms_, name, labels);
+}
+
+std::vector<CounterEntry> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterEntry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    entries.push_back({key.first, key.second, counter->value()});
+  }
+  return entries;
+}
+
+std::vector<GaugeEntry> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeEntry> entries;
+  entries.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    entries.push_back({key.first, key.second, gauge->value()});
+  }
+  return entries;
+}
+
+std::vector<HistogramEntry> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramEntry> entries;
+  entries.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    entries.push_back({key.first, key.second, histogram});
+  }
+  return entries;
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace rfade::telemetry

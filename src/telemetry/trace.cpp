@@ -1,0 +1,123 @@
+#include "rfade/telemetry/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace rfade::telemetry {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+std::size_t Tracer::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// JSON string escaping for event names (control chars, quote, slash).
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string out;
+  out.reserve(64 + snapshot.size() * 96);
+  out += "{\"traceEvents\":[";
+  char buffer[96];
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& event = snapshot[i];
+    if (i != 0) {
+      out += ',';
+    }
+    out += "{\"name\":\"";
+    append_json_escaped(out, event.name);
+    std::snprintf(buffer, sizeof buffer,
+                  "\",\"cat\":\"rfade\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%zu}",
+                  event.ts_us, event.dur_us, event.thread);
+    out += buffer;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) {
+    return;
+  }
+  const std::uint64_t end_ns = now_ns();
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) {
+    return;  // tracing stopped mid-span; drop rather than misclock
+  }
+  TraceEvent event;
+  event.name = name_;
+  event.thread = thread_index();
+  // Spans opened before the tracer epoch (impossible in practice, since
+  // enabling precedes recording) clamp to t = 0.
+  const std::uint64_t epoch = tracer.epoch_ns();
+  event.ts_us =
+      start_ns_ > epoch ? static_cast<double>(start_ns_ - epoch) / 1e3 : 0.0;
+  event.dur_us = static_cast<double>(end_ns - start_ns_) / 1e3;
+  tracer.record(std::move(event));
+}
+
+}  // namespace rfade::telemetry
