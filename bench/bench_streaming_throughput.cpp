@@ -109,6 +109,58 @@ BENCHMARK(StreamingOverlapSaveFir)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
+// --- precision sweep --------------------------------------------------------
+// Float32 vs Float64 on the batched overlap-save sweep at N = 16 wide
+// (one full zmm of floats per GEMM column tile).  The Float64 entry is
+// the regression reference: check_regression.py gates the float entry on
+// its items/s ratio to it at matched M (--reference
+// StreamingFloat64Reference), i.e. the end-to-end float speedup, which
+// transfers across machines of the same ISA family.
+
+constexpr std::size_t kWideBranches = 16;
+
+void run_precision(benchmark::State& state, core::Precision precision) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::FadingStreamOptions options;
+  options.backend = doppler::StreamBackend::OverlapSaveFir;
+  options.idft_size = m;
+  options.normalized_doppler = 0.05;
+  options.seed = 0x57E1;
+  options.precision = precision;
+  core::FadingStream stream(tridiagonal_covariance(kWideBranches), options);
+  if (precision == core::Precision::Float32) {
+    for (auto _ : state) {
+      const numeric::CMatrixF z = stream.next_block_f32();
+      benchmark::DoNotOptimize(z.data());
+    }
+  } else {
+    for (auto _ : state) {
+      const CMatrix z = stream.next_block();
+      benchmark::DoNotOptimize(z.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.block_size()) *
+                          static_cast<std::int64_t>(kWideBranches));
+  state.SetLabel(core::precision_name(precision));
+}
+
+void StreamingFloat64Reference(benchmark::State& state) {
+  run_precision(state, core::Precision::Float64);
+}
+BENCHMARK(StreamingFloat64Reference)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void StreamingFloat32OverlapSave(benchmark::State& state) {
+  run_precision(state, core::Precision::Float32);
+}
+BENCHMARK(StreamingFloat32OverlapSave)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

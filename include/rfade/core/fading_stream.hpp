@@ -60,6 +60,25 @@ enum class VarianceHandling {
   AssumeInputVariance   ///< the Sorooshyari-Daut assumption (flawed)
 };
 
+/// Arithmetic precision of the *emission* pipeline (per-block Philox
+/// fills, FFT convolutions, crossfades, normalisation, coloring GEMM).
+/// Design and plan construction — eigen/Cholesky, PSD forcing,
+/// Bessel/Doppler filter design — always run in double regardless; the
+/// float pipeline down-converts the resulting operators once (the plan's
+/// cached float32 L^T clone, the design's narrowed kernel spectrum and
+/// fade weights) and then runs every hot kernel at twice the SIMD width
+/// with half the memory traffic.  Each precision is its own
+/// bit-reference: the float path satisfies the same keyed ≡ cursor ≡
+/// seek identities within itself, but is not required to match the
+/// double path bitwise.
+enum class Precision {
+  Float64,  ///< double end-to-end (the historical bit-reference)
+  Float32   ///< float32 emission over double-designed operators
+};
+
+/// Short label for telemetry/bench reporting: "f64" / "f32".
+[[nodiscard]] const char* precision_name(Precision precision) noexcept;
+
 /// Options for FadingStream.  The temporal half mirrors RealTimeOptions;
 /// backend/overlap select the branch synthesis, seed keys the stateful
 /// cursor.
@@ -99,6 +118,12 @@ struct FadingStreamOptions {
   /// against each other.  Ignored by the other backends and by the
   /// non-power-of-two Bluestein fallback.
   bool batched_fill = true;
+  /// Emission-pipeline precision (see core::Precision).  A stream is
+  /// constructed in one precision for its whole life; Float32 streams
+  /// emit via next_block_f32()/generate_block_f32(), and their
+  /// next_block()/generate_block() widen that float block so existing
+  /// double-API callers (the service layer) work unchanged.
+  Precision precision = Precision::Float64;
   /// Key of the stateful next_block()/seek() realisation.
   std::uint64_t seed = 0;
 };
@@ -169,12 +194,22 @@ class FadingStream {
   /// The stateful cursor's seed.
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Emission-pipeline precision this stream was built in.
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
   // --- stateful cursor (one continuous realisation keyed by seed) ----------
 
   /// The next block of the stream: block_size() x N, row l at absolute
   /// instant next_instant() + l.  Equals generate_block(seed(), b) for
-  /// the b this call consumes.
+  /// the b this call consumes.  On a Float32 stream this is the float
+  /// block of next_block_f32() widened to double.
   [[nodiscard]] numeric::CMatrix next_block();
+
+  /// Float32 cursor (\pre precision() == Precision::Float32): the next
+  /// block of the float realisation, block_size() x N.  Equals
+  /// generate_block_f32(seed(), b) bit-for-bit for the b this call
+  /// consumes.
+  [[nodiscard]] numeric::CMatrixF next_block_f32();
 
   /// Envelopes |Z| of next_block().
   [[nodiscard]] numeric::RMatrix next_envelope_block();
@@ -203,6 +238,12 @@ class FadingStream {
   [[nodiscard]] numeric::CMatrix generate_block(
       std::uint64_t seed, std::uint64_t block_index) const;
 
+  /// Float32 keyed path (\pre precision() == Precision::Float32): a pure
+  /// function of (seed, block index), bit-identical to what the float
+  /// cursor emits for that key — the float stream's reference sequence.
+  [[nodiscard]] numeric::CMatrixF generate_block_f32(
+      std::uint64_t seed, std::uint64_t block_index) const;
+
   /// Envelopes |Z| of generate_block().
   [[nodiscard]] numeric::RMatrix generate_envelope_block(
       std::uint64_t seed, std::uint64_t block_index) const;
@@ -219,6 +260,20 @@ class FadingStream {
  private:
   using SourceList = std::vector<std::unique_ptr<doppler::BranchSource>>;
 
+  /// Cursor-path scratch, sized on first use and reused every block so
+  /// the steady-state next_block() loop allocates nothing but its
+  /// returned matrix: the per-branch fill buffers and the W matrix of
+  /// the transpose/normalise pass, in whichever precision the stream
+  /// runs.  The keyed const paths stay transient (they are the
+  /// any-thread fan-out API) and bit-identical — buffer reuse never
+  /// changes arithmetic.
+  struct Workspace {
+    std::vector<numeric::CVector> outputs;
+    numeric::CMatrix w;
+    std::vector<numeric::CVectorF> outputs_f;
+    numeric::CMatrixF w_f;
+  };
+
   [[nodiscard]] SourceList make_sources(std::uint64_t seed) const;
 
   /// Advance + fill + normalise + color one block: the single copy of the
@@ -226,23 +281,37 @@ class FadingStream {
   /// TWDP real-time generators used to duplicate.  When \p batch is
   /// non-null (the cursor's batched overlap-save sweep) the per-branch
   /// sources are bypassed and all N convolutions run as one planar
-  /// batch — bit-identical to the per-branch path.
+  /// batch — bit-identical to the per-branch path.  \p workspace reuses
+  /// the cursor's scratch; null means transient buffers (keyed path).
   [[nodiscard]] numeric::CMatrix emit(SourceList& sources, random::Rng& rng,
                                       std::uint64_t block_index,
                                       std::uint64_t first_instant,
-                                      doppler::OverlapSaveBatch* batch) const;
+                                      doppler::OverlapSaveBatch* batch,
+                                      Workspace* workspace) const;
+
+  /// Float32 mirror of emit: fill_f32 per branch (or the float batched
+  /// sweep), float normalise, float coloring GEMM.  The rng is consumed
+  /// exactly as in the double emit, so the block keying is identical.
+  [[nodiscard]] numeric::CMatrixF emit_f32(
+      SourceList& sources, random::Rng& rng, std::uint64_t block_index,
+      std::uint64_t first_instant, doppler::OverlapSaveBatch* batch,
+      Workspace* workspace) const;
 
   /// Advance + fill, discarding the output (history replay for seeks and
-  /// keyed access to stateful backends).
+  /// keyed access to stateful backends).  \p float32 replays through
+  /// fill_f32 so the float carried state (e.g. WOLA's previous float
+  /// block) is rebuilt in the stream's own precision.
   void replay(SourceList& sources, std::uint64_t seed,
-              std::uint64_t block_index) const;
+              std::uint64_t block_index, bool float32) const;
 
   SamplePipeline pipeline_;
   std::shared_ptr<const doppler::BranchSourceDesign> design_;
   double assumed_variance_;
   bool parallel_branches_;
+  Precision precision_;
   std::uint64_t seed_;
   SourceList sources_;
+  Workspace workspace_;
   /// The cursor's batched overlap-save sweep (null when the backend,
   /// options.batched_fill, or the non-power-of-two fallback opt out).
   std::unique_ptr<doppler::OverlapSaveBatch> batch_;

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "rfade/core/coloring.hpp"
@@ -94,6 +95,20 @@ class ColoringPlan {
     return coloring_;
   }
 
+  /// Float32 clone of the coloring operator for the mixed-precision
+  /// emission pipeline: L^T narrowed element-by-element from the double
+  /// factor, in both interleaved and split re/im layouts.  The design
+  /// itself (eigen/Cholesky, PSD forcing) always runs in double — this is
+  /// a one-time down-conversion, built lazily on the first float32 draw
+  /// and cached for the plan's lifetime (thread-safe; plans are shared
+  /// across streams and the PlanCache).
+  struct ColoringF32 {
+    numeric::CMatrixF transposed;     ///< L^T, N x N interleaved
+    numeric::RVectorF transposed_re;  ///< split planes of L^T (row-major)
+    numeric::RVectorF transposed_im;
+  };
+  [[nodiscard]] const ColoringF32& coloring_f32() const;
+
  private:
   ColoringPlan(numeric::CMatrix desired, const ColoringOptions& options);
 
@@ -103,6 +118,8 @@ class ColoringPlan {
   numeric::CMatrix coloring_transposed_;
   numeric::RVector coloring_transposed_re_;
   numeric::RVector coloring_transposed_im_;
+  mutable std::once_flag coloring_f32_once_;
+  mutable ColoringF32 coloring_f32_;
 };
 
 /// Options for SamplePipeline.
@@ -270,6 +287,20 @@ class SamplePipeline {
       const numeric::CMatrix& w, double variance,
       std::uint64_t first_instant = 0) const;
 
+  /// Float32 coloring of an already-normalised W block (count x N): the
+  /// float GEMM against the plan's cached float32 L^T clone, then the
+  /// mean/gain tail evaluated per row in double (mean_at / gains_at) and
+  /// applied narrowed.  The float analogue of color_block(w, 1.0, ...);
+  /// callers fold their 1/sigma scaling into W assembly.
+  [[nodiscard]] numeric::CMatrixF color_block_f32(
+      const numeric::CMatrixF& w, std::uint64_t first_instant = 0) const;
+
+  /// In-place form of color_block_f32 writing into caller memory
+  /// (row-major count x N) — the allocation-free streaming hot path.
+  void color_block_f32_into(const numeric::CMatrixF& w,
+                            std::uint64_t first_instant,
+                            numeric::CMatrixF& out) const;
+
  private:
   /// Draw `rows` white vectors scaled by 1/sigma_w from \p rng and color
   /// them into `out` (row-major, `rows` x N, caller-owned).  Per-draw
@@ -296,6 +327,11 @@ class SamplePipeline {
   /// zero-mean/unit-gain pipeline.
   void finish_rows(std::uint64_t first_instant, std::size_t rows,
                    numeric::cdouble* out) const;
+
+  /// Float32 mean/gain tail: each row's m / g evaluated in double (the
+  /// sources are double by design) and applied narrowed.
+  void finish_rows_f32(std::uint64_t first_instant, std::size_t rows,
+                       numeric::cfloat* out) const;
 
   std::shared_ptr<const ColoringPlan> plan_;
   PipelineOptions options_;

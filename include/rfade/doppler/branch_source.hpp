@@ -58,8 +58,10 @@
 
 namespace rfade::fft {
 class Pow2Plan;
+class Pow2PlanF;
 class BluesteinPlan;
 class RealConvolver;
+class RealConvolverF;
 }  // namespace rfade::fft
 
 namespace rfade::doppler {
@@ -96,6 +98,14 @@ class BranchSource {
   /// state).  No shared mutable state across sources — parallel-safe
   /// across branches.
   virtual void fill(std::span<numeric::cdouble> out) = 0;
+
+  /// Single-precision fill for the float32 emission pipeline: same
+  /// advance/fill protocol, but the block is emitted in float.  A given
+  /// source instance is driven in ONE precision for its whole life (the
+  /// stream's precision knob is fixed at construction); the float stream
+  /// is its own bit-reference — deterministic and keyed exactly like the
+  /// double path, but not required to match it bitwise.
+  virtual void fill_f32(std::span<numeric::cfloat> out) = 0;
 
   /// Drop all carried state, as if freshly constructed (used by seeks,
   /// which then replay history_blocks() blocks to rebuild it).
@@ -190,6 +200,16 @@ class BranchSourceDesign {
   /// the fallback stops rebuilding chirp/kernel tables and allocating
   /// fresh fft::dft/idft vectors every block.
   std::shared_ptr<const fft::BluesteinPlan> fallback_plan_;
+  /// Float32 emission clones, down-converted once at construction: WOLA
+  /// fade weights, and (power-of-two overlap-save only) the narrowed
+  /// kernel spectrum with a float plan + convolver over it.  Null/empty
+  /// when the backend has no float fast path — the float fill then
+  /// computes in double and narrows.
+  numeric::RVectorF fade_in_f_;
+  numeric::RVectorF fade_out_f_;
+  numeric::CVectorF kernel_spectrum_f_;
+  std::shared_ptr<const fft::Pow2PlanF> convolution_plan_f_;
+  std::shared_ptr<const fft::RealConvolverF> convolver_f_;
 
   friend class IndependentBlockBranchSource;
   friend class WolaBranchSource;
@@ -217,9 +237,15 @@ class BranchSourceDesign {
 class OverlapSaveBatch {
  public:
   /// \pre supports(*design); branch_seeds.size() >= 1 (one per branch,
-  /// in column order).
+  /// in column order).  \p float32 selects the single-precision sweep:
+  /// float Philox tapes, float transforms over the design's narrowed
+  /// kernel spectrum, and 16 lanes per group (one zmm of floats) instead
+  /// of 8.  A batch is built in ONE precision for its whole life; the
+  /// float sweep is bit-identical to the per-branch fill_f32 path, which
+  /// is its own reference (not the double path narrowed).
   OverlapSaveBatch(std::shared_ptr<const BranchSourceDesign> design,
-                   std::vector<std::uint64_t> branch_seeds);
+                   std::vector<std::uint64_t> branch_seeds,
+                   bool float32 = false);
   ~OverlapSaveBatch();
 
   /// True when \p design can drive the batched sweep: the overlap-save
@@ -237,6 +263,12 @@ class OverlapSaveBatch {
   void fill_block(std::uint64_t block_index, double post_scale,
                   numeric::CMatrix& w, bool parallel);
 
+  /// Single-precision fill_block (\pre constructed with float32 = true):
+  /// identical protocol, float output matrix.  Bit-identical to running
+  /// the per-branch fill_f32 fills one by one.
+  void fill_block_f32(std::uint64_t block_index, float post_scale,
+                      numeric::CMatrixF& w, bool parallel);
+
   /// Drop the cached input windows (seek support; the next fill_block
   /// regenerates them from the bulk-Philox tapes).
   void reset();
@@ -247,6 +279,7 @@ class OverlapSaveBatch {
   std::shared_ptr<const BranchSourceDesign> design_;
   std::vector<std::uint64_t> branch_seeds_;
   std::vector<LaneGroup> groups_;
+  bool float32_ = false;
 };
 
 }  // namespace rfade::doppler

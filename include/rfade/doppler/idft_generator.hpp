@@ -42,6 +42,13 @@ class IdftRayleighBranch {
   [[nodiscard]] numeric::CVector synthesize(
       const numeric::CVector& spectrum) const;
 
+  /// Allocation-free form of synthesize for steady-state streaming: writes
+  /// u into \p out, reusing its capacity (power-of-two M never allocates
+  /// once \p out is warm; the Bluestein fallback still does).
+  /// Bit-identical to synthesize.
+  void synthesize_into(const numeric::CVector& spectrum,
+                       numeric::CVector& out) const;
+
   /// Envelope |u| of one generated block.
   [[nodiscard]] numeric::RVector generate_envelope_block(
       random::Rng& rng) const;

@@ -103,4 +103,12 @@ using RMatrix = Matrix<double>;
 using CVector = std::vector<cdouble>;
 using RVector = std::vector<double>;
 
+/// Single-precision aliases for the float32 emission pipeline.  Plans and
+/// designs stay double; these carry only hot emission-path data.
+using cfloat = std::complex<float>;
+using CMatrixF = Matrix<cfloat>;
+using RMatrixF = Matrix<float>;
+using CVectorF = std::vector<cfloat>;
+using RVectorF = std::vector<float>;
+
 }  // namespace rfade::numeric

@@ -90,6 +90,24 @@ void multiply_block_planar(const double* a_re, const double* a_im,
                            std::size_t m, std::size_t k, const double* b_re,
                            const double* b_im, std::size_t n, cdouble* c);
 
+// --- float32 emission-path kernels -------------------------------------------
+//
+// Single-precision clones of the hot emission kernels.  Same accumulation
+// order and contraction discipline as the double versions (this TU keeps
+// -ffp-contract=off), so each float kernel is bit-identical to its own
+// scalar float loop at every ISA width — float is its own bit-reference,
+// not required to match double bitwise.
+
+/// Float clone of multiply_block_raw: c = a * b, ascending-k accumulation.
+void multiply_block_raw(const cfloat* a, std::size_t m, std::size_t k,
+                        const cfloat* b, std::size_t n, cfloat* c);
+
+/// Float clone of multiply_block_planar (split-plane operands, interleaved
+/// complex output).
+void multiply_block_planar(const float* a_re, const float* a_im,
+                           std::size_t m, std::size_t k, const float* b_re,
+                           const float* b_im, std::size_t n, cfloat* c);
+
 // --- streaming passes --------------------------------------------------------
 
 /// WOLA equal-power crossfade (the per-seam pass of the
@@ -109,6 +127,15 @@ void crossfade_block(const double* fade_out, const double* fade_in,
 /// loop.
 void scale_into_strided(const cdouble* u, std::size_t count, double scale,
                         cdouble* out, std::size_t stride);
+
+/// Float clone of crossfade_block (float weights, complex<float> samples).
+void crossfade_block(const float* fade_out, const float* fade_in,
+                     const cfloat* previous, const cfloat* current,
+                     std::size_t count, cfloat* out);
+
+/// Float clone of scale_into_strided.
+void scale_into_strided(const cfloat* u, std::size_t count, float scale,
+                        cfloat* out, std::size_t stride);
 
 /// Trace of a square matrix.
 [[nodiscard]] cdouble trace(const CMatrix& a);

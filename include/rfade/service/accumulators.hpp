@@ -47,6 +47,11 @@ class EnvelopeMomentAccumulator {
   /// Folds |z| for every element of a complex block (count x N).
   void accumulate(const numeric::CMatrix& block);
 
+  /// Float32 block overload.  Samples are widened to double before the
+  /// ExactSum fold (widening is exact), so shard merges over float
+  /// blocks keep the bit-exact associativity contract.
+  void accumulate(const numeric::CMatrixF& block);
+
   /// Folds an envelope block (count x N, r >= 0) directly.
   void accumulate_envelopes(const numeric::RMatrix& envelopes);
 
@@ -84,6 +89,10 @@ class ComplexCovarianceAccumulator {
 
   /// Folds every row of a complex block (count x N).
   void accumulate(const numeric::CMatrix& block);
+
+  /// Float32 block overload; widened to double (exactly) before the
+  /// fold, preserving bit-exact shard-merge associativity.
+  void accumulate(const numeric::CMatrixF& block);
 
   /// Folds \p other in; exactly order-invariant.
   /// \throws DimensionError when dimensions differ.

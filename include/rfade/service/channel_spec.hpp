@@ -167,6 +167,13 @@ class ChannelSpec {
   [[nodiscard]] std::size_t quadrature_panels() const noexcept {
     return quadrature_panels_;
   }
+  /// Emission-pipeline precision (stream mode; see core::Precision).
+  /// Canonicalized to Float64 where no float pipeline exists (instant
+  /// emission, the cascaded real-time family), so a Float32 request on
+  /// those specs hashes — and caches — identically to the Float64 one.
+  [[nodiscard]] core::Precision precision() const noexcept {
+    return precision_;
+  }
 
   /// The stable 64-bit content hash stamped by Builder::build() — a pure
   /// function of the canonical field values (never of builder-call
@@ -216,6 +223,7 @@ class ChannelSpec {
   core::ColoringOptions coloring_;
   std::size_t laguerre_terms_ = 96;
   std::size_t quadrature_panels_ = 4096;
+  core::Precision precision_ = core::Precision::Float64;
   std::uint64_t hash_ = 0;
 };
 
@@ -291,6 +299,10 @@ class ChannelSpec::Builder {
   Builder& coloring(core::ColoringOptions options);
   Builder& laguerre_terms(std::size_t terms);
   Builder& quadrature_panels(std::size_t panels);
+  /// Emission-pipeline precision (Float64 default).  Float32 halves the
+  /// memory traffic and doubles the SIMD width of every stream hot
+  /// kernel; plan construction stays double either way.
+  Builder& precision(core::Precision precision);
 
   /// Validate, canonicalize, stamp the content hash, and return the
   /// immutable spec.  \throws InvalidSpecError (ErrorCode::InvalidSpec)

@@ -11,6 +11,10 @@
 
 namespace rfade::core {
 
+const char* precision_name(Precision precision) noexcept {
+  return precision == Precision::Float32 ? "f32" : "f64";
+}
+
 namespace {
 
 PipelineOptions stream_pipeline_options(const FadingStreamOptions& options) {
@@ -18,6 +22,19 @@ PipelineOptions stream_pipeline_options(const FadingStreamOptions& options) {
   pipeline.mean_offset = options.los_mean;
   pipeline.gain = options.gain;
   return pipeline;
+}
+
+/// Widen a float block to the double-API shape (service-layer compat for
+/// Float32 streams; the float block stays the bit-reference).
+numeric::CMatrix widen(const numeric::CMatrixF& z) {
+  numeric::CMatrix out(z.rows(), z.cols());
+  const numeric::cfloat* src = z.data();
+  numeric::cdouble* dst = out.data();
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    dst[i] = numeric::cdouble(static_cast<double>(src[i].real()),
+                              static_cast<double>(src[i].imag()));
+  }
+  return out;
 }
 
 }  // namespace
@@ -35,6 +52,7 @@ FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
           options.backend, options.idft_size, options.normalized_doppler,
           options.input_variance_per_dim, options.overlap)),
       parallel_branches_(options.parallel_branches),
+      precision_(options.precision),
       seed_(options.seed) {
   // Proposed (Sec. 5 step 6): divide by the Eq. (19) post-filter variance.
   // Flawed mode (ref. [6]): divide by the input complex variance
@@ -44,13 +62,14 @@ FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
           ? design_->output_variance()
           : 2.0 * options.input_variance_per_dim;
   if constexpr (telemetry::kCompiledIn) {
-    const std::string backend_label = telemetry::label(
-        "backend", doppler::stream_backend_name(options.backend));
+    const std::string labels =
+        telemetry::label("backend",
+                         doppler::stream_backend_name(options.backend)) +
+        "," + telemetry::label("precision", precision_name(precision_));
     telemetry::Registry& registry = telemetry::Registry::global();
     block_histogram_ =
-        registry.histogram("rfade_stream_block_fill_ns", backend_label);
-    seek_histogram_ =
-        registry.histogram("rfade_stream_seek_ns", backend_label);
+        registry.histogram("rfade_stream_block_fill_ns", labels);
+    seek_histogram_ = registry.histogram("rfade_stream_seek_ns", labels);
   }
   sources_ = make_sources(seed_);
   if (options.batched_fill && pipeline_.dimension() > 0 &&
@@ -59,8 +78,8 @@ FadingStream::FadingStream(std::shared_ptr<const ColoringPlan> plan,
     for (std::size_t j = 0; j < seeds.size(); ++j) {
       seeds[j] = doppler::BranchSourceDesign::input_seed(seed_, j);
     }
-    batch_ = std::make_unique<doppler::OverlapSaveBatch>(design_,
-                                                         std::move(seeds));
+    batch_ = std::make_unique<doppler::OverlapSaveBatch>(
+        design_, std::move(seeds), precision_ == Precision::Float32);
   }
 }
 
@@ -77,9 +96,15 @@ FadingStream::SourceList FadingStream::make_sources(std::uint64_t seed) const {
 numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
                                     std::uint64_t block_index,
                                     std::uint64_t first_instant,
-                                    doppler::OverlapSaveBatch* batch) const {
+                                    doppler::OverlapSaveBatch* batch,
+                                    Workspace* workspace) const {
   const std::size_t n = pipeline_.dimension();
   const std::size_t m = design_->block_size();
+  Workspace transient;
+  Workspace& ws = workspace != nullptr ? *workspace : transient;
+  if (ws.w.rows() != m || ws.w.cols() != n) {
+    ws.w = numeric::CMatrix(m, n);
+  }
 
   if (batch != nullptr) {
     // Batched overlap-save sweep: the backend keys its randomness off the
@@ -88,9 +113,8 @@ numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
     // writes w(l, j) = u_j[l] / sigma_g directly — the same bits as the
     // per-branch path below.
     const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
-    numeric::CMatrix w(m, n);
-    batch->fill_block(block_index, inv_sigma, w, parallel_branches_);
-    return pipeline_.color_block(w, 1.0, first_instant);
+    batch->fill_block(block_index, inv_sigma, ws.w, parallel_branches_);
+    return pipeline_.color_block(ws.w, 1.0, first_instant);
   }
 
   // Stochastic halves run branch-by-branch in a fixed serial order — the
@@ -101,7 +125,8 @@ numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
 
   // The deterministic halves (IDFT / window / convolution) are
   // independent across branches: fill them concurrently.
-  std::vector<numeric::CVector> outputs(n);
+  std::vector<numeric::CVector>& outputs = ws.outputs;
+  outputs.resize(n);
   support::parallel_for_chunked(
       n,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
@@ -117,18 +142,64 @@ numeric::CMatrix FadingStream::emit(SourceList& sources, random::Rng& rng,
   // order, hence the same bits, as scaling inside color_block), then every
   // time instant is colored with L: Z_l = L W_l / sigma_g (steps 7-8).
   const double inv_sigma = 1.0 / std::sqrt(assumed_variance_);
-  numeric::CMatrix w(m, n);
   for (std::size_t j = 0; j < n; ++j) {
     // w(l, j) = u[l] / sigma_g as one vectorized strided pass
     // (bit-identical to the scalar transpose loop).
     numeric::scale_into_strided(outputs[j].data(), m, inv_sigma,
-                                w.data() + j, n);
+                                ws.w.data() + j, n);
   }
-  return pipeline_.color_block(w, 1.0, first_instant);
+  return pipeline_.color_block(ws.w, 1.0, first_instant);
+}
+
+numeric::CMatrixF FadingStream::emit_f32(SourceList& sources, random::Rng& rng,
+                                         std::uint64_t block_index,
+                                         std::uint64_t first_instant,
+                                         doppler::OverlapSaveBatch* batch,
+                                         Workspace* workspace) const {
+  const std::size_t n = pipeline_.dimension();
+  const std::size_t m = design_->block_size();
+  Workspace transient;
+  Workspace& ws = workspace != nullptr ? *workspace : transient;
+  if (ws.w_f.rows() != m || ws.w_f.cols() != n) {
+    ws.w_f = numeric::CMatrixF(m, n);
+  }
+  // The step-6 normalisation narrowed once from the double constant, so
+  // every float draw path divides by the same float scalar.
+  const float inv_sigma =
+      static_cast<float>(1.0 / std::sqrt(assumed_variance_));
+
+  if (batch != nullptr) {
+    batch->fill_block_f32(block_index, inv_sigma, ws.w_f, parallel_branches_);
+    return pipeline_.color_block_f32(ws.w_f, first_instant);
+  }
+
+  // Same serial advance order as the double emit — the rng consumption
+  // (and hence the block keying) is precision-independent.
+  for (std::size_t j = 0; j < n; ++j) {
+    sources[j]->advance(rng, block_index);
+  }
+
+  std::vector<numeric::CVectorF>& outputs = ws.outputs_f;
+  outputs.resize(n);
+  support::parallel_for_chunked(
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t j = begin; j < end; ++j) {
+          outputs[j].resize(m);
+          sources[j]->fill_f32(std::span<numeric::cfloat>(outputs[j]));
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
+
+  for (std::size_t j = 0; j < n; ++j) {
+    numeric::scale_into_strided(outputs[j].data(), m, inv_sigma,
+                                ws.w_f.data() + j, n);
+  }
+  return pipeline_.color_block_f32(ws.w_f, first_instant);
 }
 
 void FadingStream::replay(SourceList& sources, std::uint64_t seed,
-                          std::uint64_t block_index) const {
+                          std::uint64_t block_index, bool float32) const {
   const std::size_t n = pipeline_.dimension();
   random::Rng rng = random::block_substream(seed, block_index);
   for (std::size_t j = 0; j < n; ++j) {
@@ -137,19 +208,42 @@ void FadingStream::replay(SourceList& sources, std::uint64_t seed,
   support::parallel_for_chunked(
       n,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        std::vector<numeric::cdouble> scratch(design_->block_size());
+        // Replay in the stream's own precision so precision-specific
+        // carried state (WOLA's previous float block) is rebuilt.
+        std::vector<numeric::cdouble> scratch(float32 ? 0
+                                                      : design_->block_size());
+        std::vector<numeric::cfloat> scratch_f(float32 ? design_->block_size()
+                                                       : 0);
         for (std::size_t j = begin; j < end; ++j) {
-          sources[j]->fill(scratch);
+          if (float32) {
+            sources[j]->fill_f32(scratch_f);
+          } else {
+            sources[j]->fill(scratch);
+          }
         }
       },
       {/*chunk_size=*/1, /*serial=*/!parallel_branches_});
 }
 
 numeric::CMatrix FadingStream::next_block() {
+  if (precision_ == Precision::Float32) {
+    return widen(next_block_f32());
+  }
   const telemetry::ScopedTimer timer(block_histogram_.get());
   random::Rng rng = random::block_substream(seed_, next_block_);
-  numeric::CMatrix z =
-      emit(sources_, rng, next_block_, next_instant(), batch_.get());
+  numeric::CMatrix z = emit(sources_, rng, next_block_, next_instant(),
+                            batch_.get(), &workspace_);
+  ++next_block_;
+  return z;
+}
+
+numeric::CMatrixF FadingStream::next_block_f32() {
+  RFADE_EXPECTS(precision_ == Precision::Float32,
+                "next_block_f32: stream was built with Precision::Float64");
+  const telemetry::ScopedTimer timer(block_histogram_.get());
+  random::Rng rng = random::block_substream(seed_, next_block_);
+  numeric::CMatrixF z = emit_f32(sources_, rng, next_block_, next_instant(),
+                                 batch_.get(), &workspace_);
   ++next_block_;
   return z;
 }
@@ -167,22 +261,40 @@ void FadingStream::seek(std::uint64_t block_index) {
     batch_->reset();
   }
   if (design_->history_blocks() > 0 && block_index > 0) {
-    replay(sources_, seed_, block_index - 1);
+    replay(sources_, seed_, block_index - 1,
+           precision_ == Precision::Float32);
   }
   next_block_ = block_index;
 }
 
 numeric::CMatrix FadingStream::generate_block(std::uint64_t seed,
                                               std::uint64_t block_index) const {
+  if (precision_ == Precision::Float32) {
+    return widen(generate_block_f32(seed, block_index));
+  }
   SourceList sources = make_sources(seed);
   if (design_->history_blocks() > 0 && block_index > 0) {
-    replay(sources, seed, block_index - 1);
+    replay(sources, seed, block_index - 1, /*float32=*/false);
   }
   random::Rng rng = random::block_substream(seed, block_index);
   // Always the per-branch sources: the keyed path is the bit-reference
   // the batched cursor is pinned against.
   return emit(sources, rng, block_index, block_index * block_size(),
-              /*batch=*/nullptr);
+              /*batch=*/nullptr, /*workspace=*/nullptr);
+}
+
+numeric::CMatrixF FadingStream::generate_block_f32(
+    std::uint64_t seed, std::uint64_t block_index) const {
+  RFADE_EXPECTS(precision_ == Precision::Float32,
+                "generate_block_f32: stream was built with "
+                "Precision::Float64");
+  SourceList sources = make_sources(seed);
+  if (design_->history_blocks() > 0 && block_index > 0) {
+    replay(sources, seed, block_index - 1, /*float32=*/true);
+  }
+  random::Rng rng = random::block_substream(seed, block_index);
+  return emit_f32(sources, rng, block_index, block_index * block_size(),
+                  /*batch=*/nullptr, /*workspace=*/nullptr);
 }
 
 numeric::RMatrix FadingStream::generate_envelope_block(
@@ -197,7 +309,8 @@ numeric::CMatrix FadingStream::generate_block_from(
                 "independent-block backend (the continuous backends key "
                 "their own randomness; use next_block/generate_block)");
   SourceList sources = make_sources(0);
-  return emit(sources, rng, 0, first_instant, /*batch=*/nullptr);
+  return emit(sources, rng, 0, first_instant, /*batch=*/nullptr,
+              /*workspace=*/nullptr);
 }
 
 }  // namespace rfade::core

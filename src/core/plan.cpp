@@ -37,6 +37,24 @@ std::shared_ptr<const ColoringPlan> ColoringPlan::create(
       new ColoringPlan(std::move(desired_covariance), options));
 }
 
+const ColoringPlan::ColoringF32& ColoringPlan::coloring_f32() const {
+  std::call_once(coloring_f32_once_, [this] {
+    // One-time down-conversion of the double factor; element-by-element
+    // narrowing so the interleaved and planar layouts agree bit-for-bit.
+    coloring_f32_.transposed = numeric::CMatrixF(dim_, dim_);
+    coloring_f32_.transposed_re.resize(dim_ * dim_);
+    coloring_f32_.transposed_im.resize(dim_ * dim_);
+    for (std::size_t i = 0; i < dim_ * dim_; ++i) {
+      const float re = static_cast<float>(coloring_transposed_re_[i]);
+      const float im = static_cast<float>(coloring_transposed_im_[i]);
+      coloring_f32_.transposed.data()[i] = numeric::cfloat(re, im);
+      coloring_f32_.transposed_re[i] = re;
+      coloring_f32_.transposed_im[i] = im;
+    }
+  });
+  return coloring_f32_;
+}
+
 // --- SamplePipeline ---------------------------------------------------------
 
 SamplePipeline::SamplePipeline(std::shared_ptr<const ColoringPlan> plan,
@@ -84,6 +102,38 @@ void SamplePipeline::finish_rows(std::uint64_t first_instant, std::size_t rows,
   }
   if (has_gain_) {
     options_.gain.multiply_rows(first_instant, rows, plan_->dimension(), out);
+  }
+}
+
+void SamplePipeline::finish_rows_f32(std::uint64_t first_instant,
+                                     std::size_t rows,
+                                     numeric::cfloat* out) const {
+  if (!has_mean_ && !has_gain_) {
+    return;
+  }
+  // The mean/gain trajectories are double by design (Doppler phasors,
+  // lognormal shadowing); evaluate each row in double and narrow at the
+  // apply point so the float stream sees the same trajectory the double
+  // stream does, to float rounding.
+  const std::size_t n = plan_->dimension();
+  numeric::CVector mean(has_mean_ ? n : 0);
+  numeric::RVector gains(has_gain_ ? n : 0);
+  for (std::size_t t = 0; t < rows; ++t) {
+    numeric::cfloat* row = out + t * n;
+    const std::uint64_t instant = first_instant + t;
+    if (has_mean_) {
+      options_.mean_offset.mean_at(instant, mean);
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] += numeric::cfloat(static_cast<float>(mean[j].real()),
+                                  static_cast<float>(mean[j].imag()));
+      }
+    }
+    if (has_gain_) {
+      options_.gain.gains_at(instant, gains);
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] *= static_cast<float>(gains[j]);
+      }
+    }
   }
 }
 
@@ -262,6 +312,29 @@ numeric::CMatrix SamplePipeline::color_block(const numeric::CMatrix& w,
                               out.data());
   finish_rows(first_instant, w.rows(), out.data());
   return out;
+}
+
+numeric::CMatrixF SamplePipeline::color_block_f32(
+    const numeric::CMatrixF& w, std::uint64_t first_instant) const {
+  numeric::CMatrixF out(w.rows(), plan_->dimension());
+  color_block_f32_into(w, first_instant, out);
+  return out;
+}
+
+void SamplePipeline::color_block_f32_into(const numeric::CMatrixF& w,
+                                          std::uint64_t first_instant,
+                                          numeric::CMatrixF& out) const {
+  const std::size_t n = plan_->dimension();
+  RFADE_EXPECTS(w.cols() == n, "color_block_f32: column count != dimension");
+  RFADE_EXPECTS(out.rows() == w.rows() && out.cols() == n,
+                "color_block_f32: output shape mismatch");
+  // Float analogue of the variance == 1.0 color_block path: callers fold
+  // the 1/sigma normalisation into W assembly, so this is one float GEMM
+  // against the cached float32 clone of L^T plus the mean/gain tail.
+  const ColoringPlan::ColoringF32& clone = plan_->coloring_f32();
+  numeric::multiply_block_raw(w.data(), w.rows(), n, clone.transposed.data(),
+                              n, out.data());
+  finish_rows_f32(first_instant, w.rows(), out.data());
 }
 
 }  // namespace rfade::core

@@ -59,11 +59,24 @@ class IndependentBlockBranchSource final : public SpectrumDrawingSource {
   }
 
   void fill(std::span<numeric::cdouble> out) override {
-    const numeric::CVector u = design_.branch().synthesize(spectrum_);
-    std::copy(u.begin(), u.end(), out.begin());
+    design_.branch().synthesize_into(spectrum_, u_);
+    std::copy(u_.begin(), u_.end(), out.begin());
+  }
+
+  void fill_f32(std::span<numeric::cfloat> out) override {
+    // Synthesis stays double (the IDFT *is* this backend's cost and the
+    // design is double); only the emitted block narrows.
+    design_.branch().synthesize_into(spectrum_, u_);
+    for (std::size_t l = 0; l < u_.size(); ++l) {
+      out[l] = numeric::cfloat(static_cast<float>(u_[l].real()),
+                               static_cast<float>(u_[l].imag()));
+    }
   }
 
   void reset() override { spectrum_.clear(); }
+
+ private:
+  numeric::CVector u_;  ///< warm synthesis buffer — steady state allocates nothing
 };
 
 /// Equal-power crossfade of consecutive independent block realisations.
@@ -82,29 +95,60 @@ class WolaBranchSource final : public SpectrumDrawingSource {
   void fill(std::span<numeric::cdouble> out) override {
     const std::size_t hop = design_.block_size();
     const std::size_t overlap = design_.overlap();
-    numeric::CVector current = design_.branch().synthesize(spectrum_);
+    design_.branch().synthesize_into(spectrum_, current_);
     if (previous_.empty()) {
-      std::copy(current.begin(), current.begin() + hop, out.begin());
+      std::copy(current_.begin(), current_.begin() + hop, out.begin());
     } else {
       // out[i] = fade_out[i] * previous[hop+i] + fade_in[i] * current[i],
       // as one vectorized pass (bit-identical to the scalar loop).
       numeric::crossfade_block(design_.fade_out_.data(),
                                design_.fade_in_.data(),
-                               previous_.data() + hop, current.data(), overlap,
+                               previous_.data() + hop, current_.data(), overlap,
                                out.data());
-      std::copy(current.begin() + overlap, current.begin() + hop,
+      std::copy(current_.begin() + overlap, current_.begin() + hop,
                 out.begin() + overlap);
     }
-    previous_ = std::move(current);
+    // Rotate by swapping so the outgoing buffer's capacity feeds the next
+    // synthesize_into — steady state allocates nothing.
+    std::swap(previous_, current_);
+  }
+
+  void fill_f32(std::span<numeric::cfloat> out) override {
+    const std::size_t hop = design_.block_size();
+    const std::size_t overlap = design_.overlap();
+    design_.branch().synthesize_into(spectrum_, current_);
+    current_f_.resize(current_.size());
+    for (std::size_t l = 0; l < current_.size(); ++l) {
+      current_f_[l] = numeric::cfloat(static_cast<float>(current_[l].real()),
+                                      static_cast<float>(current_[l].imag()));
+    }
+    if (previous_f_.empty()) {
+      std::copy(current_f_.begin(), current_f_.begin() + hop, out.begin());
+    } else {
+      // The crossfade itself runs in float over the narrowed fade weights
+      // — this is the float stream's own reference sequence, replayed
+      // identically by keyed generation and seeks.
+      numeric::crossfade_block(design_.fade_out_f_.data(),
+                               design_.fade_in_f_.data(),
+                               previous_f_.data() + hop, current_f_.data(),
+                               overlap, out.data());
+      std::copy(current_f_.begin() + overlap, current_f_.begin() + hop,
+                out.begin() + overlap);
+    }
+    std::swap(previous_f_, current_f_);
   }
 
   void reset() override {
     spectrum_.clear();
     previous_.clear();
+    previous_f_.clear();
   }
 
  private:
   numeric::CVector previous_;
+  numeric::CVector current_;
+  numeric::CVectorF previous_f_;
+  numeric::CVectorF current_f_;
 };
 
 /// Exact continuous stream: overlap-save FFT convolution of the centered
@@ -160,9 +204,36 @@ class OverlapSaveBranchSource final : public BranchSource {
     }
   }
 
+  void fill_f32(std::span<numeric::cfloat> out) override {
+    const std::size_t m = design_.block_size();
+    if (const fft::RealConvolverF* convolver = design_.convolver_f_.get()) {
+      // Native float path: float Philox tape, float transforms over the
+      // design's narrowed kernel spectrum.  This sequence is the float
+      // stream's bit-reference; the batched sweep reproduces it exactly.
+      ensure_inputs_f32(pending_block_);
+      const float scale = 1.0f / static_cast<float>(2 * m);
+      convolver->convolve_packed(inputs_f_, scratch_f_);
+      for (std::size_t i = 0; i < m; ++i) {
+        out[i] = scratch_f_[m - 1 + i] * scale;
+      }
+      return;
+    }
+    // Non-power-of-two 2M has no float transform: run the double
+    // Bluestein fill and narrow — still deterministic and keyed, just not
+    // float-accelerated.
+    tmp_.resize(m);
+    fill(std::span<numeric::cdouble>(tmp_));
+    for (std::size_t i = 0; i < m; ++i) {
+      out[i] = numeric::cfloat(static_cast<float>(tmp_[i].real()),
+                               static_cast<float>(tmp_[i].imag()));
+    }
+  }
+
   void reset() override {
     inputs_.clear();
     have_inputs_ = false;
+    inputs_f_.clear();
+    have_inputs_f_ = false;
   }
 
  private:
@@ -202,6 +273,41 @@ class OverlapSaveBranchSource final : public BranchSource {
     }
   }
 
+  /// Float clones of ensure_inputs/fetch over the float Philox tape
+  /// (random::fill_complex_gaussians_planar_f32 at the same seed and
+  /// absolute offsets — positionally pure, so the same shift fast path
+  /// and seek behaviour hold).
+  void ensure_inputs_f32(std::uint64_t block) {
+    const std::size_t m = design_.block_size();
+    if (re_f_.size() < m) {
+      re_f_.resize(m);
+      im_f_.resize(m);
+    }
+    if (have_inputs_f_ && block == input_block_f_) {
+      return;
+    }
+    if (have_inputs_f_ && block == input_block_f_ + 1) {
+      std::copy(inputs_f_.begin() + m, inputs_f_.end(), inputs_f_.begin());
+      fetch_f32(block * m + m, inputs_f_.data() + m);
+    } else {
+      inputs_f_.resize(2 * m);
+      fetch_f32(block * m, inputs_f_.data());
+      fetch_f32(block * m + m, inputs_f_.data() + m);
+    }
+    input_block_f_ = block;
+    have_inputs_f_ = true;
+  }
+
+  void fetch_f32(std::uint64_t first_sample, numeric::cfloat* out) {
+    const std::size_t m = design_.block_size();
+    random::fill_complex_gaussians_planar_f32(
+        branch_seed_, /*stream=*/0, design_.input_stream_variance_,
+        first_sample, m, re_f_.data(), im_f_.data());
+    for (std::size_t t = 0; t < m; ++t) {
+      out[t] = numeric::cfloat(re_f_[t], im_f_[t]);
+    }
+  }
+
   const BranchSourceDesign& design_;
   std::uint64_t branch_seed_;
   std::uint64_t pending_block_ = 0;
@@ -214,6 +320,13 @@ class OverlapSaveBranchSource final : public BranchSource {
   numeric::CVector spectrum_;  ///< Bluestein fallback: forward output
   numeric::CVector y_;         ///< Bluestein fallback: inverse output
   numeric::CVector bwork_;     ///< Bluestein fallback: inner scratch
+  numeric::CVector tmp_;       ///< float fallback: double block to narrow
+  numeric::CVectorF inputs_f_;  ///< float input window (2M)
+  std::uint64_t input_block_f_ = 0;
+  bool have_inputs_f_ = false;
+  numeric::RVectorF re_f_;
+  numeric::RVectorF im_f_;
+  numeric::CVectorF scratch_f_;  ///< float convolver workspace (2M)
 };
 
 // --- design -----------------------------------------------------------------
@@ -244,6 +357,13 @@ BranchSourceDesign::BranchSourceDesign(StreamBackend backend, std::size_t m,
                          static_cast<double>(overlap_ + 1);
         fade_in_[i] = std::sqrt(w);
         fade_out_[i] = std::sqrt(1.0 - w);
+      }
+      // Float32 emission clone: the same weights narrowed once.
+      fade_in_f_.resize(overlap_);
+      fade_out_f_.resize(overlap_);
+      for (std::size_t i = 0; i < overlap_; ++i) {
+        fade_in_f_[i] = static_cast<float>(fade_in_[i]);
+        fade_out_f_[i] = static_cast<float>(fade_out_[i]);
       }
       break;
     }
@@ -279,6 +399,20 @@ BranchSourceDesign::BranchSourceDesign(StreamBackend backend, std::size_t m,
             std::make_shared<const fft::RealConvolver>(convolution_plan_,
                                                        centered);
         kernel_spectrum_ = convolver_->kernel_spectrum();
+        // Float32 emission clone: the kernel spectrum designed in double
+        // and narrowed ONCE, with a float plan + convolver over it.  All
+        // per-block float transforms use these; the design itself never
+        // reruns in float.
+        numeric::CVectorF spectrum_f(kernel_spectrum_.size());
+        for (std::size_t k = 0; k < kernel_spectrum_.size(); ++k) {
+          spectrum_f[k] =
+              numeric::cfloat(static_cast<float>(kernel_spectrum_[k].real()),
+                              static_cast<float>(kernel_spectrum_[k].imag()));
+        }
+        kernel_spectrum_f_ = spectrum_f;
+        convolution_plan_f_ = std::make_shared<const fft::Pow2PlanF>(2 * m);
+        convolver_f_ = std::make_shared<const fft::RealConvolverF>(
+            convolution_plan_f_, std::move(spectrum_f));
       } else {
         numeric::CVector complexified(2 * m);
         for (std::size_t k = 0; k < 2 * m; ++k) {
@@ -335,6 +469,15 @@ struct OverlapSaveBatch::LaneGroup {
   /// layout after each fill.
   numeric::RVector tape_re;
   numeric::RVector tape_im;
+  /// Float32-mode clones of the planar buffers (only the active
+  /// precision's buffers are ever allocated; a batch lives in one
+  /// precision, so the input cache fields are shared).
+  numeric::RVectorF in_re_f;
+  numeric::RVectorF in_im_f;
+  numeric::RVectorF work_re_f;
+  numeric::RVectorF work_im_f;
+  numeric::RVectorF tape_re_f;
+  numeric::RVectorF tape_im_f;
   std::uint64_t input_block = 0;
   bool have_inputs = false;
 
@@ -407,29 +550,105 @@ struct OverlapSaveBatch::LaneGroup {
       }
     }
   }
+
+  /// Float32 clones of fetch / ensure_inputs / fill_into: the same
+  /// absolute-offset tape (fill_complex_gaussians_planar_f32 at the same
+  /// seeds), the float plan's batched transforms, and the narrowed kernel
+  /// spectrum — per-lane arithmetic mirrors the per-branch fill_f32
+  /// exactly, so batched ≡ per-branch holds in float too.
+  void fetch_f32(const BranchSourceDesign& design, const std::uint64_t* seeds,
+                 std::uint64_t first_sample, std::size_t dest) {
+    const std::size_t m = design.block_size();
+    for (std::size_t b = 0; b < lanes; ++b) {
+      random::fill_complex_gaussians_planar_f32(
+          seeds[first + b], /*stream=*/0, design.input_stream_variance_,
+          first_sample, m, tape_re_f.data(), tape_im_f.data());
+      for (std::size_t t = 0; t < m; ++t) {
+        in_re_f[(dest + t) * lanes + b] = tape_re_f[t];
+        in_im_f[(dest + t) * lanes + b] = tape_im_f[t];
+      }
+    }
+  }
+
+  void ensure_inputs_f32(const BranchSourceDesign& design,
+                         const std::uint64_t* seeds, std::uint64_t block) {
+    const std::size_t m = design.block_size();
+    if (have_inputs && block == input_block) {
+      return;
+    }
+    if (have_inputs && block == input_block + 1) {
+      const std::size_t half = m * lanes;
+      std::copy(in_re_f.begin() + half, in_re_f.end(), in_re_f.begin());
+      std::copy(in_im_f.begin() + half, in_im_f.end(), in_im_f.begin());
+      fetch_f32(design, seeds, block * m + m, m);
+    } else {
+      fetch_f32(design, seeds, block * m, 0);
+      fetch_f32(design, seeds, block * m + m, m);
+    }
+    input_block = block;
+    have_inputs = true;
+  }
+
+  void fill_into_f32(const BranchSourceDesign& design, float post_scale,
+                     numeric::CMatrixF& w) {
+    const std::size_t m = design.block_size();
+    const std::size_t m2 = 2 * m;
+    std::copy(in_re_f.begin(), in_re_f.end(), work_re_f.begin());
+    std::copy(in_im_f.begin(), in_im_f.end(), work_im_f.begin());
+    const fft::Pow2PlanF& plan = *design.convolution_plan_f_;
+    plan.transform_batched(work_re_f.data(), work_im_f.data(), lanes,
+                           fft::Direction::Forward);
+    fft::multiply_batched_pointwise(work_re_f.data(), work_im_f.data(), m2,
+                                    lanes, design.kernel_spectrum_f_.data());
+    plan.transform_batched(work_re_f.data(), work_im_f.data(), lanes,
+                           fft::Direction::Inverse);
+    const float scale = 1.0f / static_cast<float>(m2);
+    for (std::size_t l = 0; l < m; ++l) {
+      const float* row_re = work_re_f.data() + (m - 1 + l) * lanes;
+      const float* row_im = work_im_f.data() + (m - 1 + l) * lanes;
+      numeric::cfloat* out = &w(l, first);
+      for (std::size_t b = 0; b < lanes; ++b) {
+        const float ur = row_re[b] * scale;
+        const float ui = row_im[b] * scale;
+        out[b] = numeric::cfloat(ur * post_scale, ui * post_scale);
+      }
+    }
+  }
 };
 
 OverlapSaveBatch::OverlapSaveBatch(
     std::shared_ptr<const BranchSourceDesign> design,
-    std::vector<std::uint64_t> branch_seeds)
-    : design_(std::move(design)), branch_seeds_(std::move(branch_seeds)) {
+    std::vector<std::uint64_t> branch_seeds, bool float32)
+    : design_(std::move(design)), branch_seeds_(std::move(branch_seeds)),
+      float32_(float32) {
   RFADE_EXPECTS(design_ != nullptr && supports(*design_),
                 "OverlapSaveBatch: design must be a power-of-two "
                 "overlap-save backend");
   RFADE_EXPECTS(!branch_seeds_.empty(),
                 "OverlapSaveBatch: need at least one branch seed");
   const std::size_t m = design_->block_size();
-  constexpr std::size_t kLanes = 8;  // one zmm register of doubles
-  for (std::size_t first = 0; first < branch_seeds_.size(); first += kLanes) {
+  // One zmm register per butterfly operand: 8 double lanes or 16 float.
+  const std::size_t lane_width = float32_ ? 16 : 8;
+  for (std::size_t first = 0; first < branch_seeds_.size();
+       first += lane_width) {
     LaneGroup group;
     group.first = first;
-    group.lanes = std::min(kLanes, branch_seeds_.size() - first);
-    group.in_re.resize(2 * m * group.lanes);
-    group.in_im.resize(2 * m * group.lanes);
-    group.work_re.resize(2 * m * group.lanes);
-    group.work_im.resize(2 * m * group.lanes);
-    group.tape_re.resize(m);
-    group.tape_im.resize(m);
+    group.lanes = std::min(lane_width, branch_seeds_.size() - first);
+    if (float32_) {
+      group.in_re_f.resize(2 * m * group.lanes);
+      group.in_im_f.resize(2 * m * group.lanes);
+      group.work_re_f.resize(2 * m * group.lanes);
+      group.work_im_f.resize(2 * m * group.lanes);
+      group.tape_re_f.resize(m);
+      group.tape_im_f.resize(m);
+    } else {
+      group.in_re.resize(2 * m * group.lanes);
+      group.in_im.resize(2 * m * group.lanes);
+      group.work_re.resize(2 * m * group.lanes);
+      group.work_im.resize(2 * m * group.lanes);
+      group.tape_re.resize(m);
+      group.tape_im.resize(m);
+    }
     groups_.push_back(std::move(group));
   }
 }
@@ -447,6 +666,7 @@ std::size_t OverlapSaveBatch::branches() const noexcept {
 
 void OverlapSaveBatch::fill_block(std::uint64_t block_index, double post_scale,
                                   numeric::CMatrix& w, bool parallel) {
+  RFADE_EXPECTS(!float32_, "OverlapSaveBatch: built for float32");
   RFADE_EXPECTS(w.rows() == design_->block_size() &&
                     w.cols() == branch_seeds_.size(),
                 "OverlapSaveBatch: output matrix shape mismatch");
@@ -460,6 +680,25 @@ void OverlapSaveBatch::fill_block(std::uint64_t block_index, double post_scale,
           groups_[g].ensure_inputs(*design_, branch_seeds_.data(),
                                    block_index);
           groups_[g].fill_into(*design_, post_scale, w);
+        }
+      },
+      {/*chunk_size=*/1, /*serial=*/!parallel});
+}
+
+void OverlapSaveBatch::fill_block_f32(std::uint64_t block_index,
+                                      float post_scale, numeric::CMatrixF& w,
+                                      bool parallel) {
+  RFADE_EXPECTS(float32_, "OverlapSaveBatch: not built for float32");
+  RFADE_EXPECTS(w.rows() == design_->block_size() &&
+                    w.cols() == branch_seeds_.size(),
+                "OverlapSaveBatch: output matrix shape mismatch");
+  support::parallel_for_chunked(
+      groups_.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t g = begin; g < end; ++g) {
+          groups_[g].ensure_inputs_f32(*design_, branch_seeds_.data(),
+                                       block_index);
+          groups_[g].fill_into_f32(*design_, post_scale, w);
         }
       },
       {/*chunk_size=*/1, /*serial=*/!parallel});

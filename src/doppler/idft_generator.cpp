@@ -41,6 +41,24 @@ numeric::CVector IdftRayleighBranch::synthesize(
   return fft::idft(spectrum);  // u[l] = (1/M) sum_k U[k] e^{i 2 pi k l / M}
 }
 
+void IdftRayleighBranch::synthesize_into(const numeric::CVector& spectrum,
+                                         numeric::CVector& out) const {
+  RFADE_EXPECTS(spectrum.size() == design_.size(),
+                "synthesize: spectrum length != IDFT size");
+  if (fft::is_power_of_two(spectrum.size())) {
+    // The exact fft::idft value sequence (copy, in-place inverse, 1/M
+    // scale), but into the caller's warm buffer.
+    out = spectrum;
+    fft::fft_pow2_inplace(out, fft::Direction::Inverse);
+    const double scale = 1.0 / static_cast<double>(out.size());
+    for (numeric::cdouble& value : out) {
+      value *= scale;
+    }
+    return;
+  }
+  out = fft::idft(spectrum);
+}
+
 numeric::CVector IdftRayleighBranch::generate_block(random::Rng& rng) const {
   return synthesize(draw_spectrum(rng));
 }

@@ -204,6 +204,60 @@ void batched_pointwise_kernel(double* __restrict re, double* __restrict im,
   }
 }
 
+/// Float clones of the batched kernels (plain functions: target_clones
+/// cannot attach to templates).  Identical per-lane operation order at
+/// twice the lanes per vector; contraction stays off in this TU, so every
+/// clone reproduces the scalar float bit pattern.
+RFADE_TARGET_CLONES_WIDE
+void batched_butterfly_stages_f32(float* __restrict re, float* __restrict im,
+                                  std::size_t n, std::size_t batch,
+                                  const cfloat* twiddles) {
+  std::size_t offset = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const cfloat* w = twiddles + offset;
+    const std::size_t half = len / 2;
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const float wr = w[k].real();
+        const float wi = w[k].imag();
+        float* __restrict er = re + (start + k) * batch;
+        float* __restrict ei = im + (start + k) * batch;
+        float* __restrict xr = re + (start + k + half) * batch;
+        float* __restrict xi = im + (start + k + half) * batch;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float odd_r = xr[b] * wr - xi[b] * wi;
+          const float odd_i = xr[b] * wi + xi[b] * wr;
+          const float even_r = er[b];
+          const float even_i = ei[b];
+          er[b] = even_r + odd_r;
+          ei[b] = even_i + odd_i;
+          xr[b] = even_r - odd_r;
+          xi[b] = even_i - odd_i;
+        }
+      }
+    }
+    offset += half;
+  }
+}
+
+RFADE_TARGET_CLONES_WIDE
+void batched_pointwise_kernel_f32(float* __restrict re, float* __restrict im,
+                                  std::size_t n, std::size_t batch,
+                                  const cfloat* h) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const float hr = h[k].real();
+    const float hi = h[k].imag();
+    float* __restrict r = re + k * batch;
+    float* __restrict i = im + k * batch;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float xr = r[b];
+      const float xi = i[b];
+      r[b] = xr * hr - xi * hi;
+      i[b] = xr * hi + xi * hr;
+    }
+  }
+}
+
 }  // namespace
 
 void multiply_batched_pointwise(double* re, double* im, std::size_t n,
@@ -212,6 +266,14 @@ void multiply_batched_pointwise(double* re, double* im, std::size_t n,
     return;
   }
   batched_pointwise_kernel(re, im, n, batch, h);
+}
+
+void multiply_batched_pointwise(float* re, float* im, std::size_t n,
+                                std::size_t batch, const cfloat* h) {
+  if (n == 0 || batch == 0) {
+    return;
+  }
+  batched_pointwise_kernel_f32(re, im, n, batch, h);
 }
 
 // --- Pow2Plan ----------------------------------------------------------------
@@ -396,6 +458,115 @@ RVector Pow2Plan::inverse_real(const CVector& spectrum) const {
     x[2 * j + 1] = z[j].imag() * scale;
   }
   return x;
+}
+
+// --- Pow2PlanF ---------------------------------------------------------------
+
+Pow2PlanF::Pow2PlanF(std::size_t n) : n_(n) {
+  RFADE_EXPECTS(is_power_of_two(n), "Pow2PlanF: size must be 2^k");
+  RFADE_EXPECTS(n <= (std::size_t{1} << 32), "Pow2PlanF: size exceeds 2^32");
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) {
+      swaps_.push_back(static_cast<std::uint32_t>(i));
+      swaps_.push_back(static_cast<std::uint32_t>(j));
+    }
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+  if (n > 1) {
+    // Twiddles from the double resync recurrence, narrowed once: every
+    // float plan of a given length carries identical tables, so scalar
+    // and batched float transforms (which both read these) agree.
+    std::vector<cdouble> stage(n / 2);
+    forward_twiddles_.resize(n - 1);
+    inverse_twiddles_.resize(n - 1);
+    std::size_t offset = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      fill_stage_twiddles(len, -1.0, stage.data());
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        forward_twiddles_[offset + k] =
+            cfloat(static_cast<float>(stage[k].real()),
+                   static_cast<float>(stage[k].imag()));
+      }
+      fill_stage_twiddles(len, 1.0, stage.data());
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        inverse_twiddles_[offset + k] =
+            cfloat(static_cast<float>(stage[k].real()),
+                   static_cast<float>(stage[k].imag()));
+      }
+      offset += len / 2;
+    }
+  }
+}
+
+void Pow2PlanF::transform(CVectorF& data, Direction direction) const {
+  RFADE_EXPECTS(data.size() == n_, "Pow2PlanF: data size mismatch");
+  if (n_ == 1) {
+    return;
+  }
+  for (std::size_t s = 0; s + 1 < swaps_.size(); s += 2) {
+    std::swap(data[swaps_[s]], data[swaps_[s + 1]]);
+  }
+  const std::vector<cfloat>& twiddles =
+      direction == Direction::Forward ? forward_twiddles_ : inverse_twiddles_;
+  std::size_t offset = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const cfloat* w = twiddles.data() + offset;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cfloat even = data[start + k];
+        const cfloat odd = data[start + k + len / 2] * w[k];
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+      }
+    }
+    offset += len / 2;
+  }
+}
+
+void Pow2PlanF::transform_batched(float* re, float* im, std::size_t batch,
+                                  Direction direction) const {
+  RFADE_EXPECTS(re != nullptr && im != nullptr,
+                "Pow2PlanF::transform_batched: null data");
+  if (n_ == 1 || batch == 0) {
+    return;
+  }
+  for (std::size_t s = 0; s + 1 < swaps_.size(); s += 2) {
+    const std::size_t i = std::size_t{swaps_[s]} * batch;
+    const std::size_t j = std::size_t{swaps_[s + 1]} * batch;
+    std::swap_ranges(re + i, re + i + batch, re + j);
+    std::swap_ranges(im + i, im + i + batch, im + j);
+  }
+  const std::vector<cfloat>& twiddles =
+      direction == Direction::Forward ? forward_twiddles_ : inverse_twiddles_;
+  batched_butterfly_stages_f32(re, im, n_, batch, twiddles.data());
+}
+
+// --- RealConvolverF ----------------------------------------------------------
+
+RealConvolverF::RealConvolverF(std::shared_ptr<const Pow2PlanF> plan,
+                               CVectorF spectrum)
+    : plan_(std::move(plan)), spectrum_(std::move(spectrum)) {
+  RFADE_EXPECTS(plan_ != nullptr, "RealConvolverF: null plan");
+  RFADE_EXPECTS(spectrum_.size() == plan_->size(),
+                "RealConvolverF: spectrum size must match plan size");
+}
+
+void RealConvolverF::convolve_packed(const CVectorF& in,
+                                     CVectorF& work) const {
+  RFADE_EXPECTS(in.size() == plan_->size(),
+                "RealConvolverF: input size must match plan size");
+  work = in;
+  plan_->transform(work, Direction::Forward);
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    work[k] *= spectrum_[k];
+  }
+  plan_->transform(work, Direction::Inverse);
 }
 
 // --- BluesteinPlan -----------------------------------------------------------

@@ -37,6 +37,33 @@ void planar_gemm_tile(const double* __restrict a_re,
   }
 }
 
+/// Float clone of planar_gemm_tile.  GCC's target_clones cannot be applied
+/// to templates, so the float kernel is a separate plain function; it runs
+/// twice the lanes per vector at every ISA level and, with contraction off
+/// in this TU, reproduces the scalar float mul/add bit pattern in every
+/// clone.
+RFADE_TARGET_CLONES_WIDE
+void planar_gemm_tile_f32(const float* __restrict a_re,
+                          const float* __restrict a_im, std::size_t m,
+                          std::size_t k, const float* __restrict b_re,
+                          const float* __restrict b_im, std::size_t n,
+                          float* __restrict c_re, float* __restrict c_im) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* brr = b_re + kk * n;
+    const float* bri = b_im + kk * n;
+    for (std::size_t t = 0; t < m; ++t) {
+      const float ar = a_re[t * k + kk];
+      const float ai = a_im[t * k + kk];
+      float* crr = c_re + t * n;
+      float* cri = c_im + t * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crr[j] += ar * brr[j] - ai * bri[j];
+        cri[j] += ar * bri[j] + ai * brr[j];
+      }
+    }
+  }
+}
+
 template <typename T>
 Matrix<T> multiply_impl(const Matrix<T>& a, const Matrix<T>& b) {
   RFADE_EXPECTS(a.cols() == b.rows(), "multiply: inner dimensions differ");
@@ -222,6 +249,50 @@ void multiply_block_planar(const double* a_re, const double* a_im,
   }
 }
 
+void multiply_block_raw(const cfloat* a, std::size_t m, std::size_t k,
+                        const cfloat* b, std::size_t n, cfloat* c) {
+  // Mirror of the double kernel: kk outermost within each row tile, so the
+  // k-terms of every output element accumulate in ascending order.
+  constexpr std::size_t kRowTile = 64;
+  for (std::size_t t0 = 0; t0 < m; t0 += kRowTile) {
+    const std::size_t t1 = std::min(m, t0 + kRowTile);
+    std::fill(c + t0 * n, c + t1 * n, cfloat{});
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const cfloat* brow = b + kk * n;
+      for (std::size_t t = t0; t < t1; ++t) {
+        const cfloat atk = a[t * k + kk];
+        cfloat* crow = c + t * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += atk * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void multiply_block_planar(const float* a_re, const float* a_im,
+                           std::size_t m, std::size_t k, const float* b_re,
+                           const float* b_im, std::size_t n, cfloat* c) {
+  constexpr std::size_t kRowTile = 64;
+  std::vector<float> c_re(kRowTile * n);
+  std::vector<float> c_im(kRowTile * n);
+  for (std::size_t t0 = 0; t0 < m; t0 += kRowTile) {
+    const std::size_t t1 = std::min(m, t0 + kRowTile);
+    std::fill(c_re.begin(), c_re.begin() + (t1 - t0) * n, 0.0f);
+    std::fill(c_im.begin(), c_im.begin() + (t1 - t0) * n, 0.0f);
+    planar_gemm_tile_f32(a_re + t0 * k, a_im + t0 * k, t1 - t0, k, b_re,
+                         b_im, n, c_re.data(), c_im.data());
+    for (std::size_t t = t0; t < t1; ++t) {
+      const float* crr = c_re.data() + (t - t0) * n;
+      const float* cri = c_im.data() + (t - t0) * n;
+      cfloat* crow = c + t * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] = cfloat(crr[j], cri[j]);
+      }
+    }
+  }
+}
+
 namespace {
 
 /// Crossfade kernel on the raw interleaved re/im doubles (std::complex
@@ -252,6 +323,30 @@ void scale_strided_kernel(const double* __restrict u, std::size_t count,
   }
 }
 
+RFADE_TARGET_CLONES_WIDE
+void crossfade_kernel_f32(const float* __restrict w0,
+                          const float* __restrict w1,
+                          const float* __restrict prev,
+                          const float* __restrict cur, std::size_t count,
+                          float* __restrict out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float a = w0[i];
+    const float b = w1[i];
+    out[2 * i] = a * prev[2 * i] + b * cur[2 * i];
+    out[2 * i + 1] = a * prev[2 * i + 1] + b * cur[2 * i + 1];
+  }
+}
+
+RFADE_TARGET_CLONES_WIDE
+void scale_strided_kernel_f32(const float* __restrict u, std::size_t count,
+                              float scale, float* __restrict out,
+                              std::size_t stride) {
+  for (std::size_t l = 0; l < count; ++l) {
+    out[l * stride] = u[2 * l] * scale;
+    out[l * stride + 1] = u[2 * l + 1] * scale;
+  }
+}
+
 }  // namespace
 
 void crossfade_block(const double* fade_out, const double* fade_in,
@@ -267,6 +362,21 @@ void scale_into_strided(const cdouble* u, std::size_t count, double scale,
                         cdouble* out, std::size_t stride) {
   scale_strided_kernel(reinterpret_cast<const double*>(u), count, scale,
                        reinterpret_cast<double*>(out), 2 * stride);
+}
+
+void crossfade_block(const float* fade_out, const float* fade_in,
+                     const cfloat* previous, const cfloat* current,
+                     std::size_t count, cfloat* out) {
+  crossfade_kernel_f32(fade_out, fade_in,
+                       reinterpret_cast<const float*>(previous),
+                       reinterpret_cast<const float*>(current), count,
+                       reinterpret_cast<float*>(out));
+}
+
+void scale_into_strided(const cfloat* u, std::size_t count, float scale,
+                        cfloat* out, std::size_t stride) {
+  scale_strided_kernel_f32(reinterpret_cast<const float*>(u), count, scale,
+                           reinterpret_cast<float*>(out), 2 * stride);
 }
 
 CMatrix add(const CMatrix& a, const CMatrix& b) {

@@ -44,6 +44,29 @@ void box_muller_tile(const double* __restrict u, const double* __restrict v,
   }
 }
 
+constexpr float kTwoPiF = 6.28318530717958647692f;
+
+/// Float Box-Muller tile: identical loop structure to box_muller_tile at
+/// twice the lanes per vector (zmm sincosf/logf on avx512f).  Same
+/// cross-ISA caveat — ulp-level between clone widths, exact within one
+/// process — and the padding in the caller keeps every real element on
+/// the full-width path.
+RFADE_TARGET_CLONES_WIDE
+void box_muller_tile_f32(const float* __restrict u, const float* __restrict v,
+                         float* __restrict radius, float sigma_per_dim,
+                         std::size_t m, float* __restrict out_re,
+                         float* __restrict out_im) {
+  for (std::size_t t = 0; t < m; ++t) {
+    radius[t] = sigma_per_dim * std::sqrt(-2.0f * std::log(u[t]));
+  }
+  for (std::size_t t = 0; t < m; ++t) {
+    out_re[t] = radius[t] * std::cos(v[t]);
+  }
+  for (std::size_t t = 0; t < m; ++t) {
+    out_im[t] = radius[t] * std::sin(v[t]);
+  }
+}
+
 }  // namespace
 
 void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
@@ -103,6 +126,64 @@ void fill_complex_gaussians_planar(std::uint64_t seed, std::uint64_t stream,
     }
     // Split loops: each maps 1:1 onto a libmvec vector call.
     box_muller_tile(u, v, radius, sigma_per_dim, padded, tile_re, tile_im);
+    std::copy(tile_re, tile_re + m, re + base);
+    std::copy(tile_im, tile_im + m, im + base);
+  }
+}
+
+void fill_complex_gaussians_planar_f32(std::uint64_t seed,
+                                       std::uint64_t stream, double variance,
+                                       std::size_t count, float* re,
+                                       float* im) {
+  fill_complex_gaussians_planar_f32(seed, stream, variance,
+                                    /*first_sample=*/0, count, re, im);
+}
+
+void fill_complex_gaussians_planar_f32(std::uint64_t seed,
+                                       std::uint64_t stream, double variance,
+                                       std::uint64_t first_sample,
+                                       std::size_t count, float* re,
+                                       float* im) {
+  const std::array<std::uint32_t, 2> key = {
+      static_cast<std::uint32_t>(seed),
+      static_cast<std::uint32_t>(seed >> 32)};
+  const auto stream_lo = static_cast<std::uint32_t>(stream);
+  const auto stream_hi = static_cast<std::uint32_t>(stream >> 32);
+  const float sigma_per_dim =
+      static_cast<float>(std::sqrt(0.5 * variance));
+
+  alignas(64) float u[kTile];
+  alignas(64) float v[kTile];
+  alignas(64) float radius[kTile];
+  alignas(64) float tile_re[kTile];
+  alignas(64) float tile_im[kTile];
+
+  for (std::size_t base = 0; base < count; base += kTile) {
+    const std::size_t m = std::min(kTile, count - base);
+    // Counter -> float uniforms: one 32-bit word per uniform.
+    // (words[0] + 1) * 2^-32 lands in (0, 1] after rounding (log-safe,
+    // the float analogue of 1 - to_unit_double), and words[2] * 2^-32
+    // in [0, 1) scales to the angle.
+    for (std::size_t t = 0; t < m; ++t) {
+      const std::uint64_t index = first_sample + base + t;
+      const std::array<std::uint32_t, 4> words = detail::philox_block(
+          key, {static_cast<std::uint32_t>(index),
+                static_cast<std::uint32_t>(index >> 32), stream_lo,
+                stream_hi});
+      u[t] = static_cast<float>(static_cast<std::uint64_t>(words[0]) + 1) *
+             0x1p-32f;
+      v[t] = kTwoPiF * (static_cast<float>(words[2]) * 0x1p-32f);
+    }
+    // Pad to the widest clone's float vector width (16 floats, one zmm)
+    // with log-safe dummies — same positional-purity argument as the
+    // double fill.
+    const std::size_t padded = (m + 15) & ~std::size_t{15};
+    for (std::size_t t = m; t < padded; ++t) {
+      u[t] = 1.0f;
+      v[t] = 0.0f;
+    }
+    box_muller_tile_f32(u, v, radius, sigma_per_dim, padded, tile_re,
+                        tile_im);
     std::copy(tile_re, tile_re + m, re + base);
     std::copy(tile_im, tile_im + m, im + base);
   }

@@ -201,6 +201,7 @@ std::uint64_t ChannelSpec::compute_hash() const {
   h.u64(static_cast<std::uint64_t>(coloring_.psd.eigen_method));
   h.size(laguerre_terms_);
   h.size(quadrature_panels_);
+  h.u64(static_cast<std::uint64_t>(precision_));
   return h.digest();
 }
 
@@ -238,7 +239,8 @@ bool operator==(const ChannelSpec& a, const ChannelSpec& b) {
          a.parallel_ == b.parallel_ &&
          coloring_equal(a.coloring_, b.coloring_) &&
          a.laguerre_terms_ == b.laguerre_terms_ &&
-         a.quadrature_panels_ == b.quadrature_panels_;
+         a.quadrature_panels_ == b.quadrature_panels_ &&
+         a.precision_ == b.precision_;
 }
 
 // --- Builder ----------------------------------------------------------------
@@ -416,6 +418,12 @@ ChannelSpec::Builder& ChannelSpec::Builder::quadrature_panels(
   return *this;
 }
 
+ChannelSpec::Builder& ChannelSpec::Builder::precision(
+    core::Precision precision) {
+  spec_.precision_ = precision;
+  return *this;
+}
+
 ChannelSpec ChannelSpec::Builder::build() const {
   ChannelSpec spec = spec_;
 
@@ -578,6 +586,13 @@ ChannelSpec ChannelSpec::Builder::build() const {
     spec.block_size_ = 4096;
     spec.sample_variance_ = 1.0;
   }
+  if (spec.mode_ == EmissionMode::Instant ||
+      spec.family_ == FadingFamily::CascadedRayleigh) {
+    // Instant pipelines and the cascaded real-time generator have no
+    // float32 path; the knob is inert there, so collapse it to the
+    // default to keep equal specs hashing (and caching) equal.
+    spec.precision_ = core::Precision::Float64;
+  }
 
   spec.hash_ = spec.compute_hash();
   return spec;
@@ -599,11 +614,35 @@ telemetry::LatencyHistogram* compile_histogram() {
   return histogram.get();
 }
 
+/// Compiles split by emission precision: a fleet migrating specs from
+/// f64 to f32 watches the two series cross over.  One interned counter
+/// per precision (the label set is closed, so two statics suffice).
+telemetry::Counter* compile_counter(core::Precision precision) {
+  if constexpr (!telemetry::kCompiledIn) {
+    return nullptr;
+  }
+  static const std::shared_ptr<telemetry::Counter> f64 =
+      telemetry::Registry::global().counter(
+          "rfade_channel_compiles_total",
+          telemetry::label("precision",
+                           core::precision_name(core::Precision::Float64)));
+  static const std::shared_ptr<telemetry::Counter> f32 =
+      telemetry::Registry::global().counter(
+          "rfade_channel_compiles_total",
+          telemetry::label("precision",
+                           core::precision_name(core::Precision::Float32)));
+  return precision == core::Precision::Float32 ? f32.get() : f64.get();
+}
+
 }  // namespace
 
 std::shared_ptr<const CompiledChannel> ChannelSpec::compile() const {
   const telemetry::Span span("ChannelSpec::compile");
   const telemetry::ScopedTimer timer(compile_histogram());
+  if (telemetry::Counter* compiles = compile_counter(precision_);
+      compiles != nullptr && telemetry::enabled()) {
+    compiles->add();
+  }
   return CompiledChannel::create(*this);
 }
 
@@ -719,6 +758,7 @@ core::FadingStreamOptions CompiledChannel::stream_options(
   options.los_mean = stream_mean_;
   options.coloring = spec_.coloring();
   options.parallel_branches = spec_.parallel();
+  options.precision = spec_.precision();
   options.seed = seed;
   return options;
 }

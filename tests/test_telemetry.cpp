@@ -812,7 +812,8 @@ TEST(TelemetryWiring, StreamBackendHistogramIsLabelled) {
   (void)stream.next_block();
   const auto histogram = Registry::global().histogram(
       "rfade_stream_block_fill_ns",
-      telemetry::label("backend", "independent-block"));
+      telemetry::label("backend", "independent-block") + "," +
+          telemetry::label("precision", "f64"));
   EXPECT_GE(histogram->count(), 1u);
 }
 
