@@ -14,7 +14,8 @@ points this script at the three files.  Checks, per format:
       +Inf count equals the `_count` sample.
 
   JSON snapshot (--json)
-    * parses, with counters/gauges/histograms arrays;
+    * parses, with an integer schema_version >= 2 and
+      counters/gauges/histograms arrays;
     * each histogram carries count/sum/min/max/mean/p50/p90/p99 and a
       bucket list whose counts sum to `count`;
     * quantiles are monotone: p50 <= p90 <= p99 <= max.
@@ -22,6 +23,14 @@ points this script at the three files.  Checks, per format:
   Chrome trace (--trace)
     * parses, with a traceEvents array of complete events
       (ph == "X", numeric ts/dur >= 0, pid/tid present).
+
+  Link-level metrics families (--require-metrics, needs --prom + --json)
+    * every rfade_metrics_* gauge family the MetricsTap publishes is
+      present in the Prometheus text (declared as a gauge) and in the
+      JSON gauges array, with identical (name, labels) sample sets;
+    * rfade_metrics_observed_samples > 0, rfade_metrics_healthy is 0/1;
+    * per-family label keys are right: lcr/afd carry branch+rho, acf and
+      mi_autocov carry branch+lag, drift carries metric+branch+parameter.
 
 Exit status: 0 OK, 1 validation failure, 2 usage error.
 """
@@ -57,9 +66,11 @@ def family_of(name, kind_by_family):
 
 
 def check_prometheus(path):
+    """Returns (kind_by_family, gauge_samples: {(name, labels): value})."""
     with open(path) as f:
         lines = f.read().splitlines()
     kind_by_family = {}
+    gauge_samples = {}
     # histogram family -> {"series": {labels-minus-le: [counts...]},
     #                      "inf": {...}, "count": {...}}
     histograms = {}
@@ -91,6 +102,8 @@ def check_prometheus(path):
         if family not in kind_by_family:
             err(f"{where}: sample {name} has no preceding # TYPE")
             continue
+        if kind_by_family[family] == "gauge":
+            gauge_samples[(name, m.group("labels") or "")] = value
         if kind_by_family[family] != "histogram":
             continue
         h = histograms.setdefault(family, {"series": {}, "inf": {},
@@ -132,6 +145,7 @@ def check_prometheus(path):
         err(f"{path}: no metric families at all")
     print(f"{path}: {len(kind_by_family)} families "
           f"({len(histograms)} histograms)")
+    return kind_by_family, gauge_samples
 
 
 def check_json_snapshot(path):
@@ -140,11 +154,14 @@ def check_json_snapshot(path):
             snapshot = json.load(f)
         except json.JSONDecodeError as e:
             err(f"{path}: invalid JSON: {e}")
-            return
+            return None
+    version = snapshot.get("schema_version")
+    if not isinstance(version, int) or version < 2:
+        err(f"{path}: schema_version is {version!r}, want an int >= 2")
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(snapshot.get(section), list):
             err(f"{path}: missing {section} array")
-            return
+            return None
     for h in snapshot["histograms"]:
         name = h.get("name", "?")
         for field in ("count", "sum", "min", "max", "mean",
@@ -163,6 +180,65 @@ def check_json_snapshot(path):
     print(f"{path}: {len(snapshot['counters'])} counters, "
           f"{len(snapshot['gauges'])} gauges, "
           f"{len(snapshot['histograms'])} histograms")
+    return snapshot
+
+
+# MetricsTap gauge family -> label keys every sample must carry.
+METRICS_FAMILIES = {
+    "rfade_metrics_observed_samples": set(),
+    "rfade_metrics_lcr_per_sample": {"branch", "rho"},
+    "rfade_metrics_afd_samples": {"branch", "rho"},
+    "rfade_metrics_acf_re": {"branch", "lag"},
+    "rfade_metrics_acf_im": {"branch", "lag"},
+    "rfade_metrics_mi_mean": {"branch"},
+    "rfade_metrics_mi_variance": {"branch"},
+    "rfade_metrics_mi_autocov": {"branch", "lag"},
+    "rfade_metrics_drift": {"metric", "branch", "parameter"},
+    "rfade_metrics_healthy": set(),
+}
+LABEL_KEY_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)=')
+
+
+def check_metrics(prom_path, prom_result, json_path, snapshot):
+    """The link-level metrics families, cross-checked across exporters."""
+    kind_by_family, gauge_samples = prom_result
+    # (name, labels-without-braces) -> value for the rfade_metrics_ set.
+    prom = {(name, labels.strip("{}")): value
+            for (name, labels), value in gauge_samples.items()
+            if name.startswith("rfade_metrics_")}
+    for family, required_keys in METRICS_FAMILIES.items():
+        if kind_by_family.get(family) != "gauge":
+            err(f"{prom_path}: metrics family {family} not declared as "
+                f"a gauge")
+            continue
+        samples = {key: v for key, v in prom.items() if key[0] == family}
+        if not samples:
+            err(f"{prom_path}: metrics family {family} has no samples")
+            continue
+        for (_, labels), value in samples.items():
+            keys = set(LABEL_KEY_RE.findall(labels))
+            if not required_keys <= keys:
+                err(f"{prom_path}: {family}{{{labels}}}: missing label "
+                    f"keys {sorted(required_keys - keys)}")
+        if family == "rfade_metrics_observed_samples":
+            if all(v <= 0 for v in samples.values()):
+                err(f"{prom_path}: {family}: no samples observed")
+        if family == "rfade_metrics_healthy":
+            for (_, labels), value in samples.items():
+                if value not in (0.0, 1.0):
+                    err(f"{prom_path}: {family}{{{labels}}}: value "
+                        f"{value} not 0/1")
+
+    json_gauges = {(g.get("name"), g.get("labels", "")): g.get("value")
+                   for g in snapshot["gauges"]
+                   if str(g.get("name", "")).startswith("rfade_metrics_")}
+    if set(json_gauges) != set(prom):
+        only_prom = sorted(set(prom) - set(json_gauges))
+        only_json = sorted(set(json_gauges) - set(prom))
+        err(f"{json_path}: metrics gauge sets disagree with {prom_path}: "
+            f"prom-only {only_prom[:5]}, json-only {only_json[:5]}")
+    print(f"metrics: {len(prom)} gauge samples across "
+          f"{len(METRICS_FAMILIES)} families agree across exporters")
 
 
 def check_trace(path):
@@ -197,14 +273,19 @@ def main():
     parser.add_argument("--prom", help="Prometheus text exposition file")
     parser.add_argument("--json", help="JSON snapshot file")
     parser.add_argument("--trace", help="Chrome trace JSON file")
+    parser.add_argument("--require-metrics", action="store_true",
+                        help="require the rfade_metrics_* gauge families "
+                             "in both --prom and --json")
     opts = parser.parse_args()
     if not (opts.prom or opts.json or opts.trace):
         parser.error("nothing to validate: pass --prom/--json/--trace")
+    if opts.require_metrics and not (opts.prom and opts.json):
+        parser.error("--require-metrics needs both --prom and --json")
     try:
-        if opts.prom:
-            check_prometheus(opts.prom)
-        if opts.json:
-            check_json_snapshot(opts.json)
+        prom_result = check_prometheus(opts.prom) if opts.prom else None
+        snapshot = check_json_snapshot(opts.json) if opts.json else None
+        if opts.require_metrics and prom_result and snapshot:
+            check_metrics(opts.prom, prom_result, opts.json, snapshot)
         if opts.trace:
             check_trace(opts.trace)
     except OSError as e:

@@ -16,7 +16,12 @@
 //     latency distributions with p50/p90/p99 in the JSON export, the
 //     stream histograms labelled by backend;
 //   * the trace: Session::next_block spans nested under the batcher's
-//     ChannelService::pull_blocks sweeps, one row per thread.
+//     ChannelService::pull_blocks sweeps, one row per thread;
+//   * rfade_metrics_*: tenant 0 runs with a link-level MetricsTap, so
+//     its LCR/AFD, complex-ACF, and mutual-information gauges export
+//     alongside rfade_metrics_drift (deviation from the Rice / J0 /
+//     Wang-Abdi analytic references) and the 0/1 rfade_metrics_healthy
+//     gate — the same numbers the panel below prints.
 
 #include <cstdio>
 #include <fstream>
@@ -25,6 +30,7 @@
 
 #include "rfade/channel/spectral.hpp"
 #include "rfade/core/fading_stream.hpp"
+#include "rfade/metrics/tap.hpp"
 #include "rfade/service/channel_service.hpp"
 #include "rfade/support/cli.hpp"
 #include "rfade/telemetry/telemetry.hpp"
@@ -102,11 +108,20 @@ int main(int argc, char** argv) {
     (void)pulled;
   }
   sessions[0].seek(0);  // rewind: shows up in rfade_session_seeks_total
-  for (std::size_t b = 0; b < blocks; ++b) {
+  // Link-level metrics on tenant 0: every cursor pull below streams into
+  // the LCR/ACF/MI accumulators, published as rfade_metrics_* gauges
+  // with drift against the Rice/J0/Wang-Abdi references.
+  metrics::MetricsTapConfig tap_config;
+  tap_config.session = "tenant-0";
+  const auto tap = sessions[0].enable_metrics(tap_config);
+  const std::size_t metrics_blocks =
+      args.get_size("metrics-blocks", blocks < 48 ? 48 : blocks);
+  for (std::size_t b = 0; b < metrics_blocks; ++b) {
     // The per-session cursor path, so rfade_session_next_block_ns fills
     // alongside the batcher's rfade_batcher_sweep_width.
     (void)sessions[0].next_block();
   }
+  tap->publish();
 
   // A raw stream alongside, so two backend labels appear on
   // rfade_stream_block_fill_ns.
@@ -132,6 +147,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   telemetry::Tracer::global().dropped()));
 
+  // The metrics panel: every analytic gate of tenant 0's tap, measured
+  // against its spec-derived reference.
+  std::printf("--- link-level metrics (tenant 0, %llu samples) ---\n",
+              static_cast<unsigned long long>(tap->samples_observed()));
+  std::printf("  %-10s %-6s %-9s %12s %12s %8s  %s\n", "metric", "branch",
+              "param", "measured", "expected", "drift", "gate");
+  for (const auto& report : tap->health()) {
+    std::printf("  %-10s %-6zu %-9g %12.6f %12.6f %7.1f%%  %s\n",
+                report.metric.c_str(), report.branch, report.parameter,
+                report.measured, report.expected, 100.0 * report.drift,
+                report.ok ? "ok" : "DRIFTED");
+  }
+  std::printf("  health: %s\n", tap->healthy() ? "ok" : "DRIFTED");
+
   bool ok = true;
   ok &= write_or_print(prom_path, telemetry::prometheus_text(),
                        "prometheus exposition");
@@ -148,6 +177,10 @@ int main(int argc, char** argv) {
       registry.histogram("rfade_session_next_block_ns")->count() >= blocks &&
       registry.histogram("rfade_batcher_sweep_width")->count() >= blocks &&
       registry.counter("rfade_session_seeks_total")->value() >= 1 &&
+      registry
+              .gauge("rfade_metrics_observed_samples",
+                     telemetry::label("session", "tenant-0"))
+              ->value() > 0 &&
       !telemetry::Tracer::global().events().empty();
   std::printf("instrumentation sanity: %s\n", recorded ? "ok" : "FAILED");
   return ok && recorded ? 0 : 1;

@@ -50,6 +50,10 @@
 #include "rfade/random/rng.hpp"
 #include "rfade/telemetry/instruments.hpp"
 
+namespace rfade::metrics {
+class MetricsTap;
+}  // namespace rfade::metrics
+
 namespace rfade::core {
 
 /// Which variance the coloring normalisation divides by: the Eq. (19)
@@ -197,6 +201,21 @@ class FadingStream {
   /// Emission-pipeline precision this stream was built in.
   [[nodiscard]] Precision precision() const noexcept { return precision_; }
 
+  /// Attach (or detach with nullptr) a link-level metrics tap: every
+  /// block the stateful cursor emits (next_block / next_block_f32 /
+  /// next_envelope_block) is folded into the tap's streaming
+  /// accumulators.  A disabled or absent tap costs the cursor one
+  /// pointer test (plus one relaxed load) per block; the keyed const
+  /// generate_block paths are never observed (shard runs attach one tap
+  /// per shard and merge them instead).
+  void set_metrics_tap(std::shared_ptr<metrics::MetricsTap> tap) noexcept {
+    metrics_tap_ = std::move(tap);
+  }
+  [[nodiscard]] const std::shared_ptr<metrics::MetricsTap>& metrics_tap()
+      const noexcept {
+    return metrics_tap_;
+  }
+
   // --- stateful cursor (one continuous realisation keyed by seed) ----------
 
   /// The next block of the stream: block_size() x N, row l at absolute
@@ -324,6 +343,9 @@ class FadingStream {
   /// the real-time hot loop.
   std::shared_ptr<telemetry::LatencyHistogram> block_histogram_;
   std::shared_ptr<telemetry::LatencyHistogram> seek_histogram_;
+  /// Opt-in link-level metrics tap over the cursor's emitted blocks
+  /// (see set_metrics_tap); null by default.
+  std::shared_ptr<metrics::MetricsTap> metrics_tap_;
 };
 
 }  // namespace rfade::core

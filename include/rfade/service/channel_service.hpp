@@ -38,6 +38,11 @@
 #include "rfade/service/channel_spec.hpp"
 #include "rfade/service/plan_cache.hpp"
 
+namespace rfade::metrics {
+class MetricsTap;
+struct MetricsTapConfig;
+}  // namespace rfade::metrics
+
 namespace rfade::service {
 
 /// One tenant's deterministic timeline over a shared compiled channel.
@@ -92,6 +97,26 @@ class Session {
   [[nodiscard]] numeric::RMatrix generate_envelope_block(
       std::uint64_t block_index) const;
 
+  /// Attach a link-level MetricsTap to this tenant's timeline: every
+  /// complex block next_block() emits is folded into streaming LCR /
+  /// ACF / mutual-information accumulators whose analytic reference
+  /// (fm, per-branch powers, family, shadowing law) is derived from the
+  /// compiled spec — see metrics/tap.hpp for the gauges published.
+  /// Returns the tap (shared with the session) for health()/publish()/
+  /// merge() access.  Off by default; a session without a tap pays one
+  /// pointer test per block, one with a disabled tap adds one relaxed
+  /// load.  The keyed generate_block paths are never observed.
+  /// \throws UnsupportedOperationError for instant-mode or envelope-only
+  /// channels (no continuous timeline to measure).
+  std::shared_ptr<metrics::MetricsTap> enable_metrics(
+      const metrics::MetricsTapConfig& config);
+
+  /// The attached tap, null until enable_metrics().
+  [[nodiscard]] const std::shared_ptr<metrics::MetricsTap>& metrics_tap()
+      const noexcept {
+    return metrics_tap_;
+  }
+
  private:
   std::shared_ptr<const CompiledChannel> channel_;
   std::uint64_t seed_ = 0;
@@ -101,6 +126,8 @@ class Session {
   /// touched by the session.
   std::optional<core::FadingStream> stream_;
   std::optional<scenario::CascadedRealTimeGenerator> cascaded_;
+  /// Opt-in link-level metrics over next_block() (see enable_metrics).
+  std::shared_ptr<metrics::MetricsTap> metrics_tap_;
 };
 
 /// One coalesced block request: \p session's block \p block_index.

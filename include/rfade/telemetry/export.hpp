@@ -18,6 +18,12 @@
 
 namespace rfade::telemetry {
 
+/// Version of the JSON snapshot document layout, exported as the
+/// top-level "schema_version" field.  Bump when a consumer-visible
+/// shape change lands (2: added the field itself alongside the
+/// link-level metrics gauge families).
+inline constexpr int kJsonSchemaVersion = 2;
+
 /// Prometheus text exposition (version 0.0.4) of every instrument in
 /// \p registry — serve it at /metrics or dump it after a run.
 [[nodiscard]] std::string prometheus_text(

@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "rfade/metrics/tap.hpp"
 #include "rfade/numeric/matrix_ops.hpp"
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/parallel.hpp"
@@ -234,6 +235,7 @@ numeric::CMatrix FadingStream::next_block() {
   numeric::CMatrix z = emit(sources_, rng, next_block_, next_instant(),
                             batch_.get(), &workspace_);
   ++next_block_;
+  if (metrics_tap_) metrics_tap_->observe(z);
   return z;
 }
 
@@ -245,6 +247,7 @@ numeric::CMatrixF FadingStream::next_block_f32() {
   numeric::CMatrixF z = emit_f32(sources_, rng, next_block_, next_instant(),
                                  batch_.get(), &workspace_);
   ++next_block_;
+  if (metrics_tap_) metrics_tap_->observe(z);
   return z;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "rfade/metrics/tap.hpp"
 #include "rfade/support/contracts.hpp"
 #include "rfade/support/error.hpp"
 #include "rfade/support/parallel.hpp"
@@ -85,6 +86,7 @@ numeric::CMatrix Session::next_block() {
   const telemetry::ScopedTimer timer(session_block_histogram());
   numeric::CMatrix block = generate_block(cursor_);
   ++cursor_;
+  if (metrics_tap_) metrics_tap_->observe(block);
   return block;
 }
 
@@ -140,6 +142,43 @@ numeric::RMatrix Session::generate_envelope_block(
         channel_->block_size(), seed_, block_index);
   }
   return envelopes_of(generate_block(block_index));
+}
+
+std::shared_ptr<metrics::MetricsTap> Session::enable_metrics(
+    const metrics::MetricsTapConfig& config) {
+  if (channel_->mode() != EmissionMode::Stream || channel_->envelope_only()) {
+    throw UnsupportedOperationError(
+        "enable_metrics: link-level metrics need a stream-mode complex "
+        "timeline (instant and envelope-only channels have none)");
+  }
+  const auto& plan = channel_->plan();
+  if (plan == nullptr) {
+    throw UnsupportedOperationError(
+        "enable_metrics: compiled channel carries no coloring plan");
+  }
+  // The spec-derived ground truth: fm and per-branch powers from the
+  // compiled plan; the Rice/J0/Wang-Abdi gates apply to the Rayleigh
+  // family, the ACF product law to Suzuki composites over it, and every
+  // other family publishes measured values without analytic gates.
+  metrics::AnalyticReference reference;
+  reference.normalized_doppler = channel_->spec().normalized_doppler();
+  const numeric::CMatrix& covariance = plan->effective_covariance();
+  reference.branch_power.resize(channel_->dimension());
+  for (std::size_t j = 0; j < channel_->dimension(); ++j) {
+    reference.branch_power[j] = covariance(j, j).real();
+  }
+  const FadingFamily family = channel_->family();
+  reference.rayleigh =
+      family == FadingFamily::Rayleigh || family == FadingFamily::Suzuki;
+  if (family == FadingFamily::Suzuki) {
+    const auto& shadowing = channel_->spec().shadowing();
+    reference.shadowing = metrics::ShadowingReference{
+        shadowing.sigma_db,
+        shadowing.decorrelation_samples};
+  }
+  metrics_tap_ = std::make_shared<metrics::MetricsTap>(std::move(reference),
+                                                       config);
+  return metrics_tap_;
 }
 
 ChannelService::ChannelService(std::size_t plan_cache_capacity)

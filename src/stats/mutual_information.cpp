@@ -1,0 +1,147 @@
+#include "rfade/stats/mutual_information.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "rfade/support/contracts.hpp"
+#include "rfade/support/error.hpp"
+
+namespace rfade::stats {
+
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286060651209;
+constexpr double kLog2E = 1.4426950408889634073599247;  // log2(e)
+
+/// Composite Simpson over [0, kCutoff] of f(x) e^{-x}; every integrand
+/// we meet (ln^2(1+sx), (sx/(1+sx))^n) is smooth and at most
+/// polylogarithmic, so the e^{-60} tail and the h^4 Simpson error are
+/// both far below the 1e-10 the validation tolerances need.
+constexpr double kCutoff = 60.0;
+constexpr std::size_t kPanels = 1 << 14;  // must be even
+
+template <typename F>
+double exponential_expectation(F&& f) {
+  const double h = kCutoff / static_cast<double>(kPanels);
+  double sum = f(0.0) + f(kCutoff) * std::exp(-kCutoff);
+  for (std::size_t i = 1; i < kPanels; ++i) {
+    const double x = h * static_cast<double>(i);
+    const double w = (i % 2 == 1) ? 4.0 : 2.0;
+    sum += w * f(x) * std::exp(-x);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double expint_e1(double x) {
+  if (!(x > 0.0) || !std::isfinite(x)) {
+    throw ValueError("expint_e1: argument must be finite and > 0 (got " +
+                     std::to_string(x) + ")");
+  }
+  if (x <= 1.0) {
+    // E1(x) = -gamma - ln x + sum_{k>=1} (-1)^{k+1} x^k / (k k!)
+    double sum = 0.0;
+    double term = 1.0;  // x^k / k!
+    for (int k = 1; k <= 40; ++k) {
+      term *= x / static_cast<double>(k);
+      const double contribution = term / static_cast<double>(k);
+      sum += (k % 2 == 1) ? contribution : -contribution;
+      if (contribution < 1e-18 * (std::abs(sum) + 1.0)) break;
+    }
+    return -kEulerGamma - std::log(x) + sum;
+  }
+  // Continued fraction E1(x) = e^{-x} / (x + 1 - 1/(x + 3 - 4/(...)))
+  // evaluated with the modified Lentz algorithm.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 200; ++i) {
+    const double a = -static_cast<double>(i) * static_cast<double>(i);
+    b += 2.0;
+    d = b + a * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + a / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = c * d;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-16) {
+      return h * std::exp(-x);
+    }
+  }
+  throw ConvergenceError("expint_e1: continued fraction failed to converge");
+}
+
+double mi_mean(double snr_linear) {
+  RFADE_EXPECTS(snr_linear > 0.0 && std::isfinite(snr_linear),
+                "mi_mean: snr must be finite and > 0");
+  const double inv = 1.0 / snr_linear;
+  return kLog2E * std::exp(inv) * expint_e1(inv);
+}
+
+double mi_variance(double snr_linear) {
+  RFADE_EXPECTS(snr_linear > 0.0 && std::isfinite(snr_linear),
+                "mi_variance: snr must be finite and > 0");
+  const double second = exponential_expectation([snr_linear](double x) {
+    const double l = std::log1p(snr_linear * x);
+    return l * l;
+  });
+  const double mean_nats = mi_mean(snr_linear) / kLog2E;
+  return kLog2E * kLog2E * (second - mean_nats * mean_nats);
+}
+
+std::vector<double> mi_laguerre_coefficients(double snr_linear,
+                                             std::size_t terms) {
+  RFADE_EXPECTS(snr_linear > 0.0 && std::isfinite(snr_linear),
+                "mi_laguerre_coefficients: snr must be finite and > 0");
+  RFADE_EXPECTS(terms >= 1, "mi_laguerre_coefficients: terms must be >= 1");
+  // One quadrature sweep computes every E[t^n], t = sx/(1+sx) in [0, 1):
+  // at each node accumulate the running power of t into all n slots.
+  std::vector<double> moments(terms, 0.0);
+  const double h = kCutoff / static_cast<double>(kPanels);
+  for (std::size_t i = 0; i <= kPanels; ++i) {
+    const double x = h * static_cast<double>(i);
+    double w = (i == 0 || i == kPanels) ? 1.0 : ((i % 2 == 1) ? 4.0 : 2.0);
+    w *= std::exp(-x);
+    const double t = snr_linear * x / (1.0 + snr_linear * x);
+    double power = 1.0;
+    for (std::size_t n = 0; n < terms; ++n) {
+      power *= t;
+      moments[n] += w * power;
+    }
+  }
+  std::vector<double> a(terms);
+  for (std::size_t n = 0; n < terms; ++n) {
+    a[n] = -moments[n] * h / 3.0 / static_cast<double>(n + 1);
+  }
+  return a;
+}
+
+double mi_autocovariance(double snr_linear, double field_correlation) {
+  RFADE_EXPECTS(std::abs(field_correlation) <= 1.0 + 1e-12,
+                "mi_autocovariance: |field correlation| must be <= 1");
+  const double rho_p =
+      std::min(1.0, field_correlation * field_correlation);
+  if (rho_p == 0.0) return 0.0;
+  if (rho_p == 1.0) return mi_variance(snr_linear);
+  // Terms decay like rho_p^n / n^2 (|a_n| <= 1/n); 512 terms leave a
+  // geometric tail below 1e-12 * variance for rho_p <= 0.999.
+  static constexpr std::size_t kTerms = 512;
+  const std::vector<double> a = mi_laguerre_coefficients(snr_linear, kTerms);
+  double sum = 0.0;
+  double rho_pow = 1.0;
+  for (std::size_t n = 0; n < kTerms; ++n) {
+    rho_pow *= rho_p;
+    sum += rho_pow * a[n] * a[n];
+    if (rho_pow < 1e-15) break;
+  }
+  return kLog2E * kLog2E * sum;
+}
+
+}  // namespace rfade::stats

@@ -132,7 +132,9 @@ std::string prometheus_text(const Registry& registry) {
 }
 
 std::string json_snapshot(const Registry& registry) {
-  std::string out = "{\"counters\":[";
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kJsonSchemaVersion);
+  out += ",\"counters\":[";
   bool first = true;
   for (const CounterEntry& entry : registry.counters()) {
     if (!first) {

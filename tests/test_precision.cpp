@@ -16,10 +16,14 @@
 #include "rfade/channel/spectral.hpp"
 #include "rfade/core/fading_stream.hpp"
 #include "rfade/core/plan.hpp"
+#include "rfade/metrics/accumulators.hpp"
+#include "rfade/metrics/health.hpp"
+#include "rfade/metrics/tap.hpp"
 #include "rfade/service/accumulators.hpp"
 #include "rfade/service/channel_spec.hpp"
 #include "rfade/stats/covariance.hpp"
 #include "rfade/stats/distributions.hpp"
+#include "rfade/stats/fading_metrics.hpp"
 #include "rfade/stats/ks_test.hpp"
 
 namespace {
@@ -276,6 +280,164 @@ TEST(Float32Accumulators, ShardMergeIsExactOverFloatBlocks) {
         << "branch " << j;
   }
   EXPECT_EQ(cov_even.finalize(), cov_all.finalize());
+}
+
+// --- link-level metrics over float blocks -----------------------------------
+
+CMatrix widened(const CMatrixF& block) {
+  CMatrix out(block.rows(), block.cols());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    out.data()[i] = cdouble(static_cast<double>(block.data()[i].real()),
+                            static_cast<double>(block.data()[i].imag()));
+  }
+  return out;
+}
+
+TEST(Float32Metrics, FloatObserveEqualsWidenedObserveBitForBit) {
+  // The f32 accumulate overloads are exact widenings: folding a float
+  // block and folding its double widening are the same multiset, so
+  // every read-out matches EXPECT_EQ-exactly.
+  const CMatrix k = paper_covariance();
+  const FadingStreamOptions options =
+      float_options(StreamBackend::OverlapSaveFir);
+  FadingStream stream(k, options);
+  const std::size_t n = k.rows();
+  const std::vector<double> thresholds{0.5, 1.0};
+  const std::vector<std::size_t> lags{1, 2, 4};
+  std::vector<double> rms(n);
+  std::vector<double> omega(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    omega[j] = k(j, j).real();
+    rms[j] = std::sqrt(omega[j]);
+  }
+
+  metrics::LevelCrossingAccumulator lcr_f(n, thresholds, rms);
+  metrics::LevelCrossingAccumulator lcr_d(n, thresholds, rms);
+  metrics::AcfAccumulator acf_f(n, lags);
+  metrics::AcfAccumulator acf_d(n, lags);
+  metrics::MutualInformationAccumulator mi_f(n, 10.0, omega, lags);
+  metrics::MutualInformationAccumulator mi_d(n, 10.0, omega, lags);
+  for (std::uint64_t b = 0; b < 6; ++b) {
+    const CMatrixF block = stream.generate_block_f32(options.seed, b);
+    const CMatrix wide = widened(block);
+    lcr_f.accumulate(block);
+    lcr_d.accumulate(wide);
+    acf_f.accumulate(block);
+    acf_d.accumulate(wide);
+    mi_f.accumulate(block);
+    mi_d.accumulate(wide);
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+      const auto from_float = lcr_f.finalize(j, t);
+      const auto from_double = lcr_d.finalize(j, t);
+      EXPECT_EQ(from_float.up_crossings, from_double.up_crossings);
+      EXPECT_EQ(from_float.samples_below, from_double.samples_below);
+      EXPECT_EQ(from_float.longest_fade, from_double.longest_fade);
+    }
+    for (const std::size_t lag : lags) {
+      EXPECT_EQ(acf_f.correlation_sum(j, lag), acf_d.correlation_sum(j, lag));
+      EXPECT_EQ(mi_f.lag_product_sum(j, lag), mi_d.lag_product_sum(j, lag));
+    }
+    EXPECT_EQ(mi_f.sum(j), mi_d.sum(j));
+    EXPECT_EQ(mi_f.sum_squares(j), mi_d.sum_squares(j));
+  }
+}
+
+TEST(Float32Metrics, TapShardMergeIsExactOverFloatBlocks) {
+  // Two taps splitting a float timeline merge into the single-pass tap
+  // bit-for-bit — the cross-shard boundary state (fade runs, lag rings)
+  // stitches float-fed segments exactly as double-fed ones.
+  const CMatrix k = paper_covariance();
+  const FadingStreamOptions options =
+      float_options(StreamBackend::OverlapSaveFir);
+  FadingStream stream(k, options);
+  const std::size_t n = k.rows();
+
+  metrics::AnalyticReference reference;
+  reference.normalized_doppler = options.normalized_doppler;
+  reference.branch_power.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    reference.branch_power[j] = k(j, j).real();
+  }
+  reference.rayleigh = false;  // colored branches: publish, don't gate
+
+  metrics::MetricsTapConfig config;
+  config.publish_every_blocks = 0;  // manual publish only
+  metrics::MetricsTap single(reference, config);
+  metrics::MetricsTap left(reference, config);
+  metrics::MetricsTap right(reference, config);
+  for (std::uint64_t b = 0; b < 9; ++b) {
+    const CMatrixF block = stream.generate_block_f32(options.seed, b);
+    single.observe(block);
+    (b < 4 ? left : right).observe(block);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.samples_observed(), single.samples_observed());
+  ASSERT_NE(left.level_crossings(), nullptr);
+  ASSERT_NE(left.autocorrelation(), nullptr);
+  ASSERT_NE(left.mutual_information(), nullptr);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t t = 0; t < config.thresholds.size(); ++t) {
+      const auto merged = left.level_crossings()->finalize(j, t);
+      const auto one_pass = single.level_crossings()->finalize(j, t);
+      EXPECT_EQ(merged.up_crossings, one_pass.up_crossings);
+      EXPECT_EQ(merged.samples_below, one_pass.samples_below);
+      EXPECT_EQ(merged.longest_fade, one_pass.longest_fade);
+      EXPECT_EQ(merged.lcr_per_sample, one_pass.lcr_per_sample);
+      EXPECT_EQ(merged.afd_samples, one_pass.afd_samples);
+    }
+    for (const std::size_t lag : config.lags) {
+      EXPECT_EQ(left.autocorrelation()->correlation_sum(j, lag),
+                single.autocorrelation()->correlation_sum(j, lag));
+      EXPECT_EQ(left.mutual_information()->lag_product_sum(j, lag),
+                single.mutual_information()->lag_product_sum(j, lag));
+    }
+    EXPECT_EQ(left.mutual_information()->sum(j),
+              single.mutual_information()->sum(j));
+  }
+}
+
+TEST(Float32Metrics, RiceGatesPassOnFloatStream) {
+  // The Rice LCR/AFD laws hold for the float emission path too: float
+  // rounding (~1e-7 relative) is far below the statistical tolerance.
+  const double fm = 0.05;
+  const std::vector<double> thresholds{0.5, 1.0};
+  FadingStreamOptions options;
+  options.backend = StreamBackend::OverlapSaveFir;
+  options.idft_size = 512;
+  options.normalized_doppler = fm;
+  options.seed = 0xF32C;
+  options.precision = Precision::Float32;
+  FadingStream stream(CMatrix::identity(1), options);
+  ASSERT_EQ(stream.precision(), Precision::Float32);
+
+  metrics::LevelCrossingAccumulator accumulator(1, thresholds, {1.0});
+  for (int b = 0; b < 400; ++b) {
+    accumulator.accumulate(stream.next_block_f32());
+  }
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const double rho = thresholds[t];
+    const auto measured = accumulator.finalize(0, t);
+    const double lcr_expected = stats::theoretical_lcr(rho, fm);
+    const double afd_expected = stats::theoretical_afd(rho, fm);
+    EXPECT_NEAR(measured.lcr_per_sample, lcr_expected, 0.10 * lcr_expected)
+        << "rho " << rho;
+    EXPECT_NEAR(measured.afd_samples, afd_expected, 0.10 * afd_expected)
+        << "rho " << rho;
+  }
+
+  metrics::AnalyticReference reference;
+  reference.normalized_doppler = fm;
+  reference.branch_power = {1.0};
+  reference.rayleigh = true;
+  for (const auto& report :
+       metrics::evaluate_health(accumulator, reference, {})) {
+    EXPECT_TRUE(report.ok) << report.metric << " " << report.parameter
+                           << " drift " << report.drift;
+  }
 }
 
 // --- ChannelSpec precision knob ---------------------------------------------

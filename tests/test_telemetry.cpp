@@ -595,6 +595,9 @@ TEST(TelemetryExport, JsonSnapshotParsesAndCarriesQuantiles) {
   ASSERT_TRUE(parsed.has_value());
   ASSERT_TRUE(parsed->is_object());
   const JsonObject& root = parsed->object();
+  ASSERT_EQ(root.count("schema_version"), 1u);
+  EXPECT_EQ(root.at("schema_version").number(),
+            static_cast<double>(telemetry::kJsonSchemaVersion));
   ASSERT_EQ(root.count("counters"), 1u);
   ASSERT_EQ(root.count("gauges"), 1u);
   ASSERT_EQ(root.count("histograms"), 1u);
